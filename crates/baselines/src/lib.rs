@@ -1,0 +1,28 @@
+//! The comparison schemes of the paper's evaluation (Appendix A):
+//!
+//! * [`SNucaScheme`] — static NUCA: addresses hashed evenly across banks,
+//!   with LRU or DRRIP replacement inside each bank. The commercial
+//!   baseline (Fig. 3).
+//! * [`IdealSpdScheme`] — *IdealSPD*, an idealized private-baseline D-NUCA
+//!   granted extra capacity: each core owns a private 1.5 MB L3 that
+//!   replicates its 3 closest banks, backed by a fully-provisioned
+//!   directory and an exclusive S-NUCA L4 victim cache accessed in
+//!   parallel. Upper-bounds DCC/ASR/ECC-style shared-private schemes.
+//! * [`AwasthiScheme`] — Awasthi et al. (HPCA'09): shared-baseline
+//!   page-granularity D-NUCA using page coloring, a 4-closest-banks initial
+//!   allocation, and epoch-based hot-page migration controlled by the
+//!   `alpha_a` / `alpha_b` parameters the paper sweeps.
+//!
+//! All three run on the same [`wp_sim`] substrate and energy accounting as
+//! Jigsaw and Whirlpool, so the cross-scheme comparisons are apples to
+//! apples.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod awasthi;
+mod idealspd;
+mod snuca;
+
+pub use awasthi::{AwasthiParams, AwasthiScheme};
+pub use idealspd::IdealSpdScheme;
+pub use snuca::{SNucaScheme, SnucaReplacement};

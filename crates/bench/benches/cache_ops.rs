@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks for the cache structures on the access path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wp_cache::{LruCache, LruPolicy, MonitorConfig, PartitionedCache, SetAssocCache, UtilityMonitor};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("lru_cache_access", |b| {
+        let mut cache = LruCache::new(8192);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 16_384;
+            black_box(cache.access(i));
+        })
+    });
+    c.bench_function("setassoc_access_512KB_16w", |b| {
+        let mut cache = SetAssocCache::with_capacity_bytes(512 * 1024, 16, LruPolicy::new());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 16_384;
+            black_box(cache.access(i));
+        })
+    });
+    c.bench_function("partitioned_bank_access", |b| {
+        let mut bank = PartitionedCache::new(8192);
+        for vc in 0..4 {
+            bank.set_quota(vc, 2048);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 16_384;
+            black_box(bank.access((i % 4) as u32, i));
+        })
+    });
+    c.bench_function("gmon_record", |b| {
+        let mut mon = UtilityMonitor::new(MonitorConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 131_072;
+            mon.record(i);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark of WhirlTool's analyzer (the paper reports "a few
+//! seconds" for 10s-100s of callpoints).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use wp_mem::CallpointId;
+use wp_mrc::MissCurve;
+use wp_whirltool::{cluster, pool_distance, ProfileData};
+
+fn synthetic_profile(callpoints: usize, intervals: usize) -> ProfileData {
+    let curve = |seed: usize| {
+        MissCurve::new(
+            (0..201)
+                .map(|i| 30.0 * (0.9 + 0.005 * (seed % 10) as f64).powi(i as i32))
+                .collect(),
+            1024,
+        )
+    };
+    let cps: Vec<CallpointId> = (0..callpoints as u64).map(CallpointId).collect();
+    let ivs = (0..intervals)
+        .map(|iv| {
+            cps.iter()
+                .enumerate()
+                .map(|(i, cp)| (*cp, curve(i + iv)))
+                .collect::<HashMap<_, _>>()
+        })
+        .collect();
+    ProfileData {
+        callpoints: cps,
+        intervals: ivs,
+        accesses: HashMap::new(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let a = MissCurve::new((0..201).map(|i| 30.0 * 0.95f64.powi(i)).collect(), 1024);
+    let b2 = MissCurve::flat(25.0, 201, 1024);
+    c.bench_function("pool_distance_201pt", |b| {
+        b.iter(|| pool_distance(&a, &b2, 200))
+    });
+    let profile = synthetic_profile(12, 6);
+    c.bench_function("cluster_12cp_6iv", |b| b.iter(|| cluster(&profile, 200)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

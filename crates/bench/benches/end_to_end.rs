@@ -1,0 +1,28 @@
+//! Criterion benchmark of the end-to-end simulator: instructions per
+//! second of wall time for a Whirlpool-managed run of dt.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_noc::CoreId;
+use wp_sim::MultiCoreSim;
+use wp_workloads::{registry, AppModel};
+use whirlpool::WhirlpoolScheme;
+use whirlpool_repro::harness::four_core_config;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("whirlpool_dt_1M_instrs", |b| {
+        b.iter(|| {
+            let sys = four_core_config();
+            let model = AppModel::new(registry::spec("delaunay"));
+            let pools = model.descriptors_manual();
+            let mut sim = MultiCoreSim::new(sys.clone(), WhirlpoolScheme::new(sys));
+            sim.attach(CoreId(0), model.bundle(pools));
+            sim.run(1_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

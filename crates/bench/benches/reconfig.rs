@@ -1,0 +1,38 @@
+//! Criterion benchmark of a full Jigsaw/Whirlpool reconfiguration — the
+//! paper reports the runtime costs <0.4% of system cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_jigsaw::{place_and_trade, size_vcs, PlacementInput, SizingInput};
+use wp_mrc::MissCurve;
+use wp_noc::{CoreId, Floorplan};
+
+fn bench(c: &mut Criterion) {
+    let plan = Floorplan::four_core();
+    let curve = |apki: f64, ratio: f64| {
+        MissCurve::new((0..201).map(|i| apki * ratio.powi(i as i32)).collect(), 1024)
+    };
+    let inputs: Vec<SizingInput> = (0..8)
+        .map(|i| SizingInput {
+            miss_curve: curve(30.0 + i as f64, 0.93),
+            apki: 30.0 + i as f64,
+            center: plan.core_coord(CoreId((i % 4) as u16)),
+            bypassable: i % 2 == 0,
+        })
+        .collect();
+    c.bench_function("sizing_8vcs_4core", |b| {
+        b.iter(|| size_vcs(&inputs, &plan, 8, 9, 140.0, 200))
+    });
+    let pinputs: Vec<PlacementInput> = (0..8)
+        .map(|i| PlacementInput {
+            granules: 25,
+            center: plan.core_coord(CoreId((i % 4) as u16)),
+            intensity: 10.0 - i as f64,
+        })
+        .collect();
+    c.bench_function("placement_trading_8vcs", |b| {
+        b.iter(|| place_and_trade(&pinputs, &plan, 8))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 2: breakdown of dt's working set and access pattern.
+//!
+//! The paper shows dt's 6 MB working set split into points (0.5 MB),
+//! vertices (1.5 MB), triangles (4 MB), with accesses split roughly evenly
+//! — so access *intensity* varies 8× between points and triangles.
+
+use wp_sim::Workload;
+use wp_workloads::{registry, AppModel};
+
+fn main() {
+    let model = AppModel::new(registry::spec("delaunay"));
+    let descs = model.descriptors_manual();
+    println!("Fig 2a — dt working set (paper: 0.5 / 1.5 / 4 MB):");
+    for d in &descs {
+        println!("  {:<10} {:>6.2} MB", d.name, d.bytes as f64 / (1024.0 * 1024.0));
+    }
+    // Measure per-pool APKI from the trace.
+    let mut page_pool = wp_mrc::FastMap::default();
+    for (i, d) in descs.iter().enumerate() {
+        for p in &d.pages {
+            page_pool.insert(p.0, i);
+        }
+    }
+    let mut counts = vec![0u64; descs.len()];
+    let mut instrs = 0u64;
+    let mut trace = model.trace();
+    while instrs < 20_000_000 {
+        let ev = trace.next_event().expect("infinite trace");
+        instrs += ev.gap_instrs as u64;
+        if let Some(&i) = page_pool.get(&ev.line.page().0) {
+            counts[i] += 1;
+        }
+    }
+    println!("\nFig 2b — accesses per kilo-instruction (paper: ~even split of ~25 APKI):");
+    let mut total = 0.0;
+    for (i, d) in descs.iter().enumerate() {
+        let apki = counts[i] as f64 * 1000.0 / instrs as f64;
+        total += apki;
+        println!("  {:<10} {:>6.2} APKI", d.name, apki);
+    }
+    println!("  {:<10} {total:>6.2} APKI", "total");
+    println!("\nAccess intensity (APKI per MB — why points go nearest):");
+    for (i, d) in descs.iter().enumerate() {
+        let apki = counts[i] as f64 * 1000.0 / instrs as f64;
+        let mb = d.bytes as f64 / (1024.0 * 1024.0);
+        println!("  {:<10} {:>6.2} APKI/MB", d.name, apki / mb);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figs. 3–5: where S-NUCA, Jigsaw, and Whirlpool place dt's data, plus
+//! the headline dt numbers (paper: Whirlpool +19% vs S-NUCA, +15% vs
+//! Jigsaw; data-movement energy −42% vs S-NUCA, −27% vs Jigsaw).
+
+use wp_bench::{classification_for, measure_budget};
+use wp_noc::CoreId;
+use wp_sim::{LlcScheme, MultiCoreSim};
+use wp_workloads::{registry, AppModel};
+use whirlpool_repro::harness::*;
+
+fn run_and_map(kind: SchemeKind) -> (f64, f64, Vec<(usize, String, f64)>) {
+    let sys = four_core_config();
+    let model = AppModel::new(registry::spec("delaunay"));
+    let pools = descriptors_for(&model, "delaunay", classification_for(kind));
+    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
+    sim.attach(CoreId(0), model.bundle(pools));
+    let (warm, _) = run_budget("delaunay");
+    let out = sim.run_with_warmup(warm, measure_budget("delaunay"));
+    (
+        exec_cycles(&out),
+        out.energy_per_ki(),
+        sim.scheme().bank_occupancy(),
+    )
+}
+
+fn main() {
+    let sys = four_core_config();
+    let mut results = Vec::new();
+    for kind in [SchemeKind::SNucaLru, SchemeKind::Jigsaw, SchemeKind::Whirlpool] {
+        let (cycles, energy, occ) = run_and_map(kind);
+        println!("=== {} ===", kind.label());
+        println!("{}", render_occupancy(&sys, &occ));
+        results.push((kind.label(), cycles, energy));
+    }
+    println!("dt headline numbers (paper: W +19%/+15% perf, -42%/-27% energy):");
+    let (_, s_cyc, s_e) = results[0];
+    let (_, j_cyc, j_e) = results[1];
+    let (_, w_cyc, w_e) = results[2];
+    println!(
+        "  Whirlpool vs S-NUCA: {:+.1}% perf, {:+.1}% energy",
+        speedup_pct(s_cyc, w_cyc),
+        (w_e / s_e - 1.0) * 100.0
+    );
+    println!(
+        "  Whirlpool vs Jigsaw: {:+.1}% perf, {:+.1}% energy",
+        speedup_pct(j_cyc, w_cyc),
+        (w_e / j_e - 1.0) * 100.0
+    );
+}

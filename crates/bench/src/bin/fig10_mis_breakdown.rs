@@ -1,0 +1,10 @@
+//! Fig. 10: mis performance, energy, and LLC-access breakdown across the
+//! six schemes.
+
+fn main() {
+    wp_bench::breakdown_figure(
+        "MIS",
+        "Whirlpool +38% over Jigsaw, -53% data-movement energy; Awasthi gets \
+         stuck at a small allocation; IdealSPD burns energy on multi-level lookups.",
+    );
+}

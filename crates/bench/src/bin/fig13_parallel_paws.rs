@@ -1,0 +1,39 @@
+//! Fig. 13: the six parallel apps under S-NUCA, Jigsaw, Jigsaw+PaWS, and
+//! Whirlpool+PaWS on the 16-core chip.
+
+use wp_bench::print_normalized;
+use wp_paws::SchedPolicy;
+use wp_workloads::parallel::parallel_apps;
+use whirlpool_repro::harness::*;
+
+fn main() {
+    let configs = [
+        ("SNUCA", SchemeKind::SNucaLru, SchedPolicy::WorkStealing),
+        ("Jigsaw", SchemeKind::Jigsaw, SchedPolicy::WorkStealing),
+        ("J + PaWS", SchemeKind::Jigsaw, SchedPolicy::Paws),
+        ("W + PaWS", SchemeKind::Whirlpool, SchedPolicy::Paws),
+    ];
+    println!("Fig 13 — parallel apps on 16 cores.");
+    println!("Paper: J+PaWS helps moderately (up to 19% on pagerank); W+PaWS adds");
+    println!("per-partition pools, up to +67% / 2.6x energy on connectedComponents.\n");
+    for spec in parallel_apps(16, 42) {
+        let name = spec.name;
+        let mut time_rows = Vec::new();
+        let mut energy_rows = Vec::new();
+        let mut home_fracs = Vec::new();
+        for (label, kind, policy) in configs.iter() {
+            let run = run_parallel(*kind, spec.clone(), *policy);
+            time_rows.push((label.to_string(), makespan_cycles(&run.summary)));
+            energy_rows.push((label.to_string(), run.summary.energy_per_ki()));
+            home_fracs.push((label, run.schedule.home_fraction()));
+        }
+        println!("==================== {name} ====================");
+        print_normalized("Execution time", &time_rows);
+        print_normalized("Data-movement energy", &energy_rows);
+        print!("task-to-home affinity:");
+        for (l, f) in home_fracs {
+            print!("  {l}: {f:.2}");
+        }
+        println!("\n");
+    }
+}

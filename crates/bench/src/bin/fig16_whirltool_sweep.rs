@@ -1,0 +1,54 @@
+//! Fig. 16: WhirlTool speedup over Jigsaw with 2/3/4 pools across all 31
+//! apps, with the manual-classification result where one exists (Table 2).
+
+use wp_bench::measure_budget;
+use wp_workloads::registry;
+use whirlpool::manual;
+use whirlpool_repro::harness::*;
+
+fn main() {
+    println!("Fig 16 — WhirlTool speedup over Jigsaw (%), profiled on train inputs.");
+    println!("Paper: several apps gain 5-15%, mis 38%; 3 pools is the sweet spot;");
+    println!("WhirlTool matches manual classification on most apps.\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "app", "2 pools", "3 pools", "4 pools", "manual"
+    );
+    let mut means = [0.0f64; 3];
+    let mut n = 0;
+    for app in registry::all_apps() {
+        let measure = measure_budget(app);
+        let jig = run_single_app(SchemeKind::Jigsaw, app, Classification::None, measure);
+        let base = exec_cycles(&jig);
+        let mut row = format!("{app:<10}");
+        for (i, pools) in [2usize, 3, 4].iter().enumerate() {
+            let wt = run_single_app(
+                SchemeKind::Whirlpool,
+                app,
+                Classification::WhirlTool {
+                    pools: *pools,
+                    train: true,
+                },
+                measure,
+            );
+            let sp = speedup_pct(base, exec_cycles(&wt));
+            means[i] += sp;
+            row.push_str(&format!(" {sp:>7.1}%"));
+        }
+        if manual::lookup(app).is_some() {
+            let m = run_single_app(SchemeKind::Whirlpool, app, Classification::Manual, measure);
+            row.push_str(&format!(" {:>7.1}%", speedup_pct(base, exec_cycles(&m))));
+        } else {
+            row.push_str(&format!(" {:>8}", "-"));
+        }
+        println!("{row}");
+        n += 1;
+    }
+    println!(
+        "\nmean speedup: 2 pools {:+.1}%, 3 pools {:+.1}%, 4 pools {:+.1}%",
+        means[0] / n as f64,
+        means[1] / n as f64,
+        means[2] / n as f64
+    );
+    println!("(paper: 3 pools is the right tradeoff; 4 adds little)");
+}

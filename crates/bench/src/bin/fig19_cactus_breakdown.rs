@@ -1,0 +1,10 @@
+//! Fig. 19: cactus breakdown — WhirlTool/Whirlpool caches the reused pugh
+//! region near the core and bypasses the near-streaming grid.
+
+fn main() {
+    wp_bench::breakdown_figure(
+        "cactus",
+        "Whirlpool +8.6% over Jigsaw, -42% data-movement energy, mostly from \
+         cutting network traffic (fewer banks, bypassed grid).",
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 20: SA breakdown — the contrast to cactus: Whirlpool spends *more*
+//! banks (more network energy) to retain the working set and cut misses.
+
+fn main() {
+    wp_bench::breakdown_figure(
+        "SA",
+        "Whirlpool +7.3% over Jigsaw, -15% data-movement energy: more banks, \
+         more network energy, but far fewer memory accesses.",
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 21: overall performance, energy, and access breakdown across all
+//! 31 single-threaded benchmarks and six schemes, plus the bypass ablation.
+
+use wp_bench::{classification_for, gmean, measure_budget, print_normalized};
+use wp_workloads::registry;
+use whirlpool_repro::harness::*;
+
+fn main() {
+    let schemes = [
+        SchemeKind::SNucaLru,
+        SchemeKind::SNucaDrrip,
+        SchemeKind::IdealSpd,
+        SchemeKind::Awasthi,
+        SchemeKind::Jigsaw,
+        SchemeKind::Whirlpool,
+        SchemeKind::JigsawNoBypass,
+        SchemeKind::WhirlpoolNoBypass,
+    ];
+    let apps = registry::all_apps();
+    println!(
+        "Fig 21 — {} apps x {} schemes. Paper: S-NUCA(LRU) 15% slower / +51% energy vs",
+        apps.len(),
+        schemes.len()
+    );
+    println!("Whirlpool; DRRIP 14%/+50%; IdealSPD 18%/+54%; Awasthi 15%/+40%; Jigsaw 3.9%/+8%.");
+    println!("Bypassing: Jigsaw loses 0.2% without it, Whirlpool 1.2%.\n");
+
+    let mut cycles: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut hits: Vec<f64> = vec![0.0; schemes.len()];
+    let mut misses: Vec<f64> = vec![0.0; schemes.len()];
+    let mut bypasses: Vec<f64> = vec![0.0; schemes.len()];
+    for app in &apps {
+        let measure = measure_budget(app);
+        eprintln!("running {app}...");
+        for (i, &kind) in schemes.iter().enumerate() {
+            let out = run_single_app(kind, app, classification_for(kind), measure);
+            cycles[i].push(exec_cycles(&out));
+            energy[i].push(out.energy_per_ki());
+            hits[i] += out.cores[0].llc_hpki();
+            misses[i] += out.cores[0].llc_mpki();
+            bypasses[i] += out.cores[0].llc_bpki();
+        }
+    }
+    // Gmean slowdown vs Whirlpool (index 5).
+    println!("\nGmean slowdown vs Whirlpool (%):");
+    for (i, &kind) in schemes.iter().enumerate() {
+        let ratios: Vec<f64> = cycles[i]
+            .iter()
+            .zip(&cycles[5])
+            .map(|(&c, &w)| c / w)
+            .collect();
+        println!("  {:<20} {:>6.1}%", kind.label(), (gmean(&ratios) - 1.0) * 100.0);
+    }
+    // Energy normalized to Whirlpool.
+    let rows: Vec<(String, f64)> = {
+        let w = gmean(&energy[5]);
+        let mut r = vec![("Whirlpool".to_string(), w)];
+        for (i, &kind) in schemes.iter().enumerate() {
+            if i != 5 {
+                r.push((kind.label().to_string(), gmean(&energy[i])));
+            }
+        }
+        r
+    };
+    print_normalized("Gmean data-movement energy", &rows);
+    // Access mix.
+    println!("\nMean LLC access mix (per kilo-instruction, averaged over apps):");
+    println!("{:<20} {:>8} {:>8} {:>9}", "scheme", "hits", "misses", "bypasses");
+    let n = apps.len() as f64;
+    for (i, &kind) in schemes.iter().enumerate() {
+        println!(
+            "{:<20} {:>8.1} {:>8.2} {:>9.2}",
+            kind.label(),
+            hits[i] / n,
+            misses[i] / n,
+            bypasses[i] / n
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 22: weighted speedup over Jigsaw for random multi-program SPEC
+//! mixes at 4 and 16 cores, with the bypass ablations.
+
+use wp_bench::n_mixes;
+use wp_workloads::mix::{random_mixes, weighted_speedup};
+use whirlpool_repro::harness::*;
+
+fn run_mix_ipc(kind: SchemeKind, apps: &[&str], instrs: u64, cores16: bool) -> Vec<f64> {
+    let sys = if cores16 {
+        sixteen_core_config()
+    } else {
+        four_core_config()
+    };
+    let out = run_mix(kind, apps, instrs, sys);
+    out.cores.iter().take(apps.len()).map(|c| c.ipc()).collect()
+}
+
+fn main() {
+    let schemes = [
+        SchemeKind::Whirlpool,
+        SchemeKind::WhirlpoolNoBypass,
+        SchemeKind::JigsawNoBypass,
+    ];
+    for (cores16, label, instrs) in [(false, "4-core", 8_000_000u64), (true, "16-core", 6_000_000u64)] {
+        let n = n_mixes();
+        let mixes = random_mixes(n, if cores16 { 16 } else { 4 }, 0xF16_22);
+        println!("=== {label}: {n} random SPEC mixes (paper: 20) ===");
+        println!("Paper: Whirlpool beats Jigsaw by up to 13%/6.4% (5.1%/3.0% gmean).\n");
+        let mut all: Vec<(SchemeKind, Vec<f64>)> =
+            schemes.iter().map(|&k| (k, Vec::new())).collect();
+        for (mi, mix) in mixes.iter().enumerate() {
+            let jig = run_mix_ipc(SchemeKind::Jigsaw, mix, instrs, cores16);
+            for (k, ws_acc) in all.iter_mut() {
+                let ipc = run_mix_ipc(*k, mix, instrs, cores16);
+                let ws = weighted_speedup(&ipc, &jig);
+                ws_acc.push(ws);
+            }
+            eprintln!("  mix {mi} done: {:?}", &mix[..mix.len().min(4)]);
+        }
+        for (k, mut ws) in all {
+            ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let g = ws.iter().map(|w| w.ln()).sum::<f64>() / ws.len() as f64;
+            let series: Vec<String> = ws.iter().map(|w| format!("{w:.3}")).collect();
+            println!(
+                "{:<20} gmean {:.3}  best {:.3}  sorted: {}",
+                k.label(),
+                g.exp(),
+                ws[0],
+                series.join(" ")
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 3: configuration of the simulated CMPs.
+
+use whirlpool_repro::harness::{four_core_config, sixteen_core_config};
+
+fn main() {
+    for (name, sys) in [("4-core", four_core_config()), ("16-core", sixteen_core_config())] {
+        println!("=== {name} system ===");
+        println!("cores            {}", sys.floorplan.num_cores());
+        println!("L1D              {} KB, {}-way, {}-cycle", sys.l1_bytes / 1024, sys.l1_ways, sys.l1_latency);
+        println!("L2               {} KB, {}-way, {}-cycle, private/inclusive", sys.l2_bytes / 1024, sys.l2_ways, sys.l2_latency);
+        println!(
+            "L3 (NUCA)        {} banks x {} KB = {:.1} MB, {}-cycle banks",
+            sys.floorplan.num_banks(),
+            sys.bank_bytes / 1024,
+            sys.llc_bytes() as f64 / (1024.0 * 1024.0),
+            sys.bank_latency
+        );
+        println!(
+            "NoC              {}x{} mesh, {}-cycle routers, {}-cycle links, 128-bit flits, X-Y routing",
+            sys.floorplan.mesh().width(),
+            sys.floorplan.mesh().height(),
+            sys.floorplan.params().router_cycles,
+            sys.floorplan.params().link_cycles
+        );
+        println!(
+            "memory           {} MCU(s), {}-cycle zero-load, {:.1} GB/s per channel",
+            sys.floorplan.num_mcus(),
+            sys.mem_zero_load_latency,
+            sys.mem_bytes_per_cycle * sys.freq_ghz
+        );
+        println!(
+            "reconfiguration  every {} Mcycles (paper: 25 ms = 50 Mcycles on 10 B-instruction runs)",
+            sys.reconfig_interval_cycles / 1_000_000
+        );
+        println!();
+    }
+}

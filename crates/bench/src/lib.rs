@@ -1,0 +1,116 @@
+//! Shared helpers for the per-figure harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper,
+//! printing the same rows/series the paper reports (normalized bars,
+//! curve samples, placement maps). Run them with
+//! `cargo run --release -p wp-bench --bin <name>`.
+//!
+//! Environment knobs:
+//! * `RUN_SCALE` — multiplies every measurement budget (default 1.0;
+//!   0.25 gives a quick pass for smoke-testing the harness).
+//! * `N_MIXES` — number of random mixes for `fig22_mixes` (default 8;
+//!   the paper uses 20).
+#![forbid(unsafe_code)]
+
+use whirlpool_repro::harness::{run_budget, Classification, SchemeKind};
+
+/// The measurement budget for `app`, scaled by `RUN_SCALE`.
+pub fn measure_budget(app: &str) -> u64 {
+    let (_, measure) = run_budget(app);
+    let scale: f64 = std::env::var("RUN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    ((measure as f64 * scale) as u64).max(1_000_000)
+}
+
+/// Number of mixes to run (default 8, paper uses 20).
+pub fn n_mixes() -> usize {
+    std::env::var("N_MIXES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+/// The classification a scheme should receive for single-app runs.
+pub fn classification_for(kind: SchemeKind) -> Classification {
+    if kind.uses_pools() {
+        Classification::Manual
+    } else {
+        Classification::None
+    }
+}
+
+/// Prints a normalized bar table: rows of `(label, value)` normalized to
+/// the first row (the paper's "1.0 = baseline" bar charts).
+pub fn print_normalized(title: &str, rows: &[(String, f64)]) {
+    println!("\n{title} (normalized to {}):", rows[0].0);
+    let base = rows[0].1;
+    for (label, v) in rows {
+        let norm = v / base;
+        let bar = "#".repeat((norm * 40.0).round().min(80.0) as usize);
+        println!("  {label:<22} {norm:>6.3}  {bar}");
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn gmean(values: &[f64]) -> f64 {
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Runs the full six-scheme breakdown of Figs. 10/19/20 for one app:
+/// execution time, data-movement energy split, and LLC access mix.
+pub fn breakdown_figure(app: &str, paper_note: &str) {
+    use whirlpool_repro::harness::{exec_cycles, run_single_app};
+    let measure = measure_budget(app);
+    println!("{app} across the six schemes ({measure} measured instructions).");
+    println!("Paper: {paper_note}\n");
+    let mut time_rows = Vec::new();
+    let mut energy_rows = Vec::new();
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "scheme", "cycles", "hit/KI", "miss/KI", "byp/KI", "net", "bank", "mem (nJ/KI)"
+    );
+    for kind in SchemeKind::FIG10 {
+        let out = run_single_app(kind, app, classification_for(kind), measure);
+        let c = &out.cores[0];
+        let ki = c.instructions as f64 / 1000.0;
+        println!(
+            "{:<14} {:>12.0} {:>8.1} {:>8.2} {:>8.1} | {:>8.2} {:>8.2} {:>8.2}",
+            out.scheme,
+            c.cycles,
+            c.llc_hpki(),
+            c.llc_mpki(),
+            c.llc_bpki(),
+            out.energy.network_nj / ki,
+            out.energy.bank_nj / ki,
+            out.energy.memory_nj / ki,
+        );
+        time_rows.push((out.scheme.clone(), exec_cycles(&out)));
+        energy_rows.push((out.scheme.clone(), out.energy_per_ki()));
+    }
+    print_normalized("Execution time", &time_rows);
+    print_normalized("Data-movement energy", &energy_rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_equal_values() {
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_mixed() {
+        let g = gmean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgets_are_positive() {
+        assert!(measure_budget("delaunay") >= 1_000_000);
+    }
+}

@@ -1,0 +1,212 @@
+//! Utility monitors (the GMON model).
+//!
+//! Jigsaw attaches a geometric utility monitor to every VC; Whirlpool adds
+//! one per pool VC (24 KB of monitors in the 4-core system, Sec. 3.2). A
+//! monitor observes the VC's LLC-bound access stream by sampling lines and
+//! maintaining stack distances, and at each reconfiguration produces a
+//! miss-rate curve, blended with history via EWMA so that transient phases
+//! do not whipsaw the allocator.
+
+use wp_mrc::{MissCurve, SampledStack};
+
+/// Configuration for a [`UtilityMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Sample one in `2^sample_rate_log2` lines (GMONs sample to keep
+    /// hardware small; 0 = exact).
+    pub sample_rate_log2: u32,
+    /// Lines per curve granule.
+    pub granule_lines: u64,
+    /// Number of curve points to emit (capacities `0..=points-1` granules).
+    pub curve_points: usize,
+    /// EWMA weight of the newest interval (1.0 = no history).
+    pub ewma_alpha: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate_log2: 3,
+            granule_lines: wp_mrc::DEFAULT_GRANULE_LINES,
+            curve_points: 201,
+            ewma_alpha: 0.6,
+        }
+    }
+}
+
+/// A per-VC utility monitor producing interval miss-rate curves.
+#[derive(Debug)]
+pub struct UtilityMonitor {
+    config: MonitorConfig,
+    stack: SampledStack,
+    accesses: u64,
+    last_curve: Option<MissCurve>,
+}
+
+impl UtilityMonitor {
+    /// Creates a monitor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curve_points` is zero or `ewma_alpha` is outside `(0, 1]`.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(config.curve_points > 0, "need at least one curve point");
+        assert!(
+            config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0, 1]"
+        );
+        Self {
+            config,
+            stack: SampledStack::new(config.sample_rate_log2),
+            accesses: 0,
+            last_curve: None,
+        }
+    }
+
+    /// Observes one LLC-bound access to `line`.
+    pub fn record(&mut self, line: u64) {
+        self.accesses += 1;
+        self.stack.access(line);
+    }
+
+    /// Accesses observed since the last [`rollover`](Self::rollover).
+    pub fn interval_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Ends the interval: converts the sampled histogram into a miss curve
+    /// normalized by `interval_instructions`, EWMA-blends it with history,
+    /// resets interval state, and returns the blended curve.
+    ///
+    /// Returns the previous curve (or a flat zero curve) when the interval
+    /// saw no accesses — an idle VC keeps its last-known behaviour, like
+    /// real GMONs between reconfigurations.
+    pub fn rollover(&mut self, interval_instructions: u64) -> MissCurve {
+        let instructions = interval_instructions.max(1);
+        let hist = self.stack.take_histogram();
+        self.accesses = 0;
+        if hist.total() == 0 {
+            let curve = self.last_curve.clone().unwrap_or_else(|| {
+                MissCurve::flat(0.0, self.config.curve_points, self.config.granule_lines)
+            });
+            // Idle intervals decay history toward zero so dead pools
+            // eventually release capacity.
+            let decayed = curve.scaled(1.0 - self.config.ewma_alpha);
+            self.last_curve = Some(decayed.clone());
+            return decayed;
+        }
+        let fresh = MissCurve::from_histogram(&hist, instructions, self.config.granule_lines)
+            .resized(self.config.curve_points)
+            .monotonized();
+        let blended = match &self.last_curve {
+            Some(prev) => fresh.ewma(prev, self.config.ewma_alpha),
+            None => fresh,
+        };
+        self.last_curve = Some(blended.clone());
+        blended
+    }
+
+    /// The most recent blended curve, if any interval has completed.
+    pub fn last_curve(&self) -> Option<&MissCurve> {
+        self.last_curve.as_ref()
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_config() -> MonitorConfig {
+        MonitorConfig {
+            sample_rate_log2: 0,
+            granule_lines: 4,
+            curve_points: 32,
+            ewma_alpha: 1.0,
+        }
+    }
+
+    #[test]
+    fn cyclic_stream_yields_cliff_curve() {
+        let mut m = UtilityMonitor::new(exact_config());
+        // Cycle over 16 lines: all reuses at distance 16 (4 granules).
+        for i in 0..1600u64 {
+            m.record(i % 16);
+        }
+        let c = m.rollover(16_000);
+        // Below 4 granules: ~100 MPKI (all miss); at >= 4 granules only the
+        // 16 cold misses remain (~1 MPKI).
+        assert!(c.mpki_at(3) > 50.0, "below WS should miss: {}", c.mpki_at(3));
+        assert!(c.mpki_at(4) < 2.0, "at WS should hit: {}", c.mpki_at(4));
+    }
+
+    #[test]
+    fn idle_interval_decays_history() {
+        let mut m = UtilityMonitor::new(MonitorConfig {
+            ewma_alpha: 0.5,
+            ..exact_config()
+        });
+        for i in 0..800u64 {
+            m.record(i % 8);
+        }
+        let c1 = m.rollover(8_000);
+        assert!(c1.at_zero() > 0.0);
+        let c2 = m.rollover(8_000); // no accesses
+        assert!(c2.at_zero() < c1.at_zero());
+        assert!(c2.at_zero() > 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_phase_change() {
+        let mut m = UtilityMonitor::new(MonitorConfig {
+            ewma_alpha: 0.5,
+            ..exact_config()
+        });
+        for i in 0..1000u64 {
+            m.record(i % 8);
+        }
+        let heavy = m.rollover(10_000);
+        // Next interval: almost no traffic.
+        m.record(1);
+        let light = m.rollover(10_000);
+        assert!(light.at_zero() < heavy.at_zero());
+        assert!(light.at_zero() > 0.25 * heavy.at_zero() * 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn sampled_monitor_approximates_exact() {
+        let mut exact = UtilityMonitor::new(exact_config());
+        let mut sampled = UtilityMonitor::new(MonitorConfig {
+            sample_rate_log2: 2,
+            ..exact_config()
+        });
+        // Uniform random over 64 lines — enough mass for sampling.
+        let mut x = 12345u64;
+        for _ in 0..60_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 64;
+            exact.record(line);
+            sampled.record(line);
+        }
+        let ce = exact.rollover(60_000);
+        let cs = sampled.rollover(60_000);
+        // APKI should agree within 2x (sampling noise bound, coarse check).
+        assert!(cs.at_zero() > ce.at_zero() * 0.5 && cs.at_zero() < ce.at_zero() * 2.0);
+    }
+
+    #[test]
+    fn interval_access_counter() {
+        let mut m = UtilityMonitor::new(exact_config());
+        m.record(1);
+        m.record(2);
+        assert_eq!(m.interval_accesses(), 2);
+        m.rollover(1000);
+        assert_eq!(m.interval_accesses(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! A capacity-partitioned cache shared by several partitions (virtual
+//! caches), with LRU within each partition's quota.
+
+use std::collections::HashMap;
+
+use crate::lru::{AccessOutcome, LruCache};
+
+/// A cache whose line capacity is divided among *partitions*, each managed
+/// LRU within an exact quota.
+///
+/// This models one LLC bank under Jigsaw: each VC owns a slice of the bank
+/// (set by the reconfiguration runtime) and evictions never cross partition
+/// boundaries. Quota changes evict LRU lines from shrunken partitions,
+/// mirroring Jigsaw's incremental reconfiguration invalidations.
+///
+/// Partition ids are caller-assigned `u32`s (VC ids in the simulator).
+#[derive(Debug, Default)]
+pub struct PartitionedCache {
+    parts: HashMap<u32, LruCache>,
+    total_capacity: usize,
+}
+
+impl PartitionedCache {
+    /// Creates an empty partitioned cache with a total line budget.
+    /// The budget is advisory: [`set_quota`](Self::set_quota) enforces
+    /// per-partition capacities, and `debug_assert`s the sum stays within it.
+    pub fn new(total_capacity: usize) -> Self {
+        Self {
+            parts: HashMap::new(),
+            total_capacity,
+        }
+    }
+
+    /// Total line budget across partitions.
+    pub fn total_capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Sum of quotas currently assigned.
+    pub fn assigned_capacity(&self) -> usize {
+        self.parts.values().map(|p| p.capacity()).sum()
+    }
+
+    /// Sets partition `id`'s quota to `lines`, creating it if absent.
+    /// Returns lines evicted if the partition shrank.
+    pub fn set_quota(&mut self, id: u32, lines: usize) -> Vec<u64> {
+        let part = self
+            .parts
+            .entry(id)
+            .or_insert_with(|| LruCache::new(lines));
+        let evicted = part.resize(lines);
+        debug_assert!(
+            self.assigned_capacity() <= self.total_capacity,
+            "partition quotas exceed the bank budget"
+        );
+        evicted
+    }
+
+    /// Sets partition `id`'s quota without evicting: over-quota occupancy
+    /// drains as the partition's own insertions arrive (soft shrinking).
+    pub fn set_quota_lazy(&mut self, id: u32, lines: usize) {
+        self.parts
+            .entry(id)
+            .or_insert_with(|| LruCache::new(lines))
+            .resize_lazy(lines);
+    }
+
+    /// Current quota of partition `id` (0 if absent).
+    pub fn quota(&self, id: u32) -> usize {
+        self.parts.get(&id).map_or(0, |p| p.capacity())
+    }
+
+    /// Resident lines of partition `id`.
+    pub fn occupancy(&self, id: u32) -> usize {
+        self.parts.get(&id).map_or(0, |p| p.len())
+    }
+
+    /// Accesses `addr` within partition `id`. A partition with no quota (or
+    /// never configured) always misses without inserting.
+    pub fn access(&mut self, id: u32, addr: u64) -> AccessOutcome {
+        match self.parts.get_mut(&id) {
+            Some(p) => p.access(addr),
+            None => AccessOutcome::Miss { evicted: None },
+        }
+    }
+
+    /// Whether `addr` is resident in partition `id`.
+    pub fn contains(&self, id: u32, addr: u64) -> bool {
+        self.parts.get(&id).is_some_and(|p| p.contains(addr))
+    }
+
+    /// Invalidates `addr` in partition `id`.
+    pub fn invalidate(&mut self, id: u32, addr: u64) -> bool {
+        self.parts
+            .get_mut(&id)
+            .is_some_and(|p| p.invalidate(addr))
+    }
+
+    /// Removes partition `id` entirely, returning its resident lines
+    /// (the whole-VC invalidation used when a VC enters bypass mode).
+    pub fn remove_partition(&mut self, id: u32) -> Vec<u64> {
+        self.parts
+            .remove(&id)
+            .map(|mut p| p.drain())
+            .unwrap_or_default()
+    }
+
+    /// Ids of all live partitions (unordered).
+    pub fn partition_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.parts.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_do_not_interfere() {
+        let mut c = PartitionedCache::new(8);
+        c.set_quota(1, 2);
+        c.set_quota(2, 2);
+        c.access(1, 100);
+        c.access(1, 101);
+        // Filling partition 2 never evicts partition 1's lines.
+        for a in 0..10u64 {
+            c.access(2, a);
+        }
+        assert!(c.contains(1, 100) && c.contains(1, 101));
+        assert_eq!(c.occupancy(2), 2);
+    }
+
+    #[test]
+    fn unconfigured_partition_misses_without_insert() {
+        let mut c = PartitionedCache::new(8);
+        assert_eq!(c.access(9, 1), AccessOutcome::Miss { evicted: None });
+        assert_eq!(c.occupancy(9), 0);
+    }
+
+    #[test]
+    fn shrink_evicts_excess() {
+        let mut c = PartitionedCache::new(8);
+        c.set_quota(1, 4);
+        for a in 0..4u64 {
+            c.access(1, a);
+        }
+        let evicted = c.set_quota(1, 1);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(c.occupancy(1), 1);
+        assert!(c.contains(1, 3), "MRU line survives the shrink");
+    }
+
+    #[test]
+    fn zero_quota_is_bypass_like() {
+        let mut c = PartitionedCache::new(8);
+        c.set_quota(1, 0);
+        assert_eq!(c.access(1, 5), AccessOutcome::Miss { evicted: None });
+        assert_eq!(c.occupancy(1), 0);
+    }
+
+    #[test]
+    fn remove_partition_drains() {
+        let mut c = PartitionedCache::new(8);
+        c.set_quota(3, 4);
+        c.access(3, 7);
+        c.access(3, 8);
+        let lines = c.remove_partition(3);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(c.quota(3), 0);
+    }
+
+    #[test]
+    fn assigned_capacity_tracks_quotas() {
+        let mut c = PartitionedCache::new(10);
+        c.set_quota(1, 4);
+        c.set_quota(2, 6);
+        assert_eq!(c.assigned_capacity(), 10);
+        c.set_quota(2, 2);
+        assert_eq!(c.assigned_capacity(), 6);
+    }
+}

@@ -1,0 +1,156 @@
+//! The manual classifications of Table 2.
+//!
+//! The paper hand-ports 12 applications to the pool API; this module
+//! records those classifications (pools, key data structures, and the
+//! lines of code changed) both as documentation and as the source of truth
+//! for the manually-classified workload models and the `table2` harness.
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManualClassification {
+    /// Application (reported name).
+    pub app: &'static str,
+    /// Short key used by the workload registry.
+    pub key: &'static str,
+    /// Number of pools used by the manual port.
+    pub pools: usize,
+    /// The data structures assigned to pools.
+    pub data_structures: &'static [&'static str],
+    /// Lines of code modified while porting.
+    pub loc_changed: usize,
+}
+
+/// Table 2, verbatim.
+pub const TABLE2: &[ManualClassification] = &[
+    ManualClassification {
+        app: "Breadth-first search",
+        key: "BFS",
+        pools: 4,
+        data_structures: &["vertices", "edges", "frontier", "visited"],
+        loc_changed: 16,
+    },
+    ManualClassification {
+        app: "Delaunay triangulation",
+        key: "delaunay",
+        pools: 3,
+        data_structures: &["points", "vertices", "triangles"],
+        loc_changed: 11,
+    },
+    ManualClassification {
+        app: "Maximal matching",
+        key: "matching",
+        pools: 3,
+        data_structures: &["vertices", "edges", "result"],
+        loc_changed: 13,
+    },
+    ManualClassification {
+        app: "Delaunay refinement",
+        key: "refine",
+        pools: 3,
+        data_structures: &["vertices", "triangles", "misc"],
+        loc_changed: 8,
+    },
+    ManualClassification {
+        app: "Maximal independent set",
+        key: "MIS",
+        pools: 3,
+        data_structures: &["vertices", "edges", "flags"],
+        loc_changed: 13,
+    },
+    ManualClassification {
+        app: "Spanning forest",
+        key: "ST",
+        pools: 3,
+        data_structures: &["union-find parents", "output tree", "input edges"],
+        loc_changed: 13,
+    },
+    ManualClassification {
+        app: "Minimal spanning forest",
+        key: "MST",
+        pools: 3,
+        data_structures: &["union-find parents", "output tree", "input edges"],
+        loc_changed: 11,
+    },
+    ManualClassification {
+        app: "Convex hull",
+        key: "hull",
+        pools: 2,
+        data_structures: &["points", "hull array"],
+        loc_changed: 10,
+    },
+    ManualClassification {
+        app: "401.bzip2",
+        key: "bzip2",
+        pools: 4,
+        data_structures: &["arr1", "arr2", "ftab", "tt"],
+        loc_changed: 43,
+    },
+    ManualClassification {
+        app: "470.lbm",
+        key: "lbm",
+        pools: 2,
+        data_structures: &["source grid", "destination grid"],
+        loc_changed: 21,
+    },
+    ManualClassification {
+        app: "429.mcf",
+        key: "mcf",
+        pools: 2,
+        data_structures: &["nodes", "arcs"],
+        loc_changed: 14,
+    },
+    ManualClassification {
+        app: "436.cactusADM",
+        key: "cactus",
+        pools: 2,
+        data_structures: &["pugh variables", "staggered-leapfrog grid data"],
+        loc_changed: 53,
+    },
+];
+
+/// Looks up a manual classification by workload key.
+pub fn lookup(key: &str) -> Option<&'static ManualClassification> {
+    TABLE2.iter().find(|c| c.key == key)
+}
+
+/// Mean lines of code changed across all manual ports — the paper's
+/// "only a few lines of code need to be modified" claim, quantified.
+pub fn mean_loc_changed() -> f64 {
+    TABLE2.iter().map(|c| c.loc_changed as f64).sum::<f64>() / TABLE2.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_apps_as_in_table2() {
+        assert_eq!(TABLE2.len(), 12);
+    }
+
+    #[test]
+    fn pools_match_structure_counts() {
+        for c in TABLE2 {
+            assert!(
+                c.data_structures.len() >= c.pools.min(c.data_structures.len()),
+                "{}: inconsistent row",
+                c.app
+            );
+            assert!(c.pools >= 2 && c.pools <= 4, "{}: 2-4 pools", c.app);
+        }
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let dt = lookup("delaunay").unwrap();
+        assert_eq!(dt.pools, 3);
+        assert_eq!(dt.loc_changed, 11);
+        assert!(lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn porting_effort_is_small() {
+        assert!(mean_loc_changed() < 60.0);
+        assert!(TABLE2.iter().all(|c| c.loc_changed <= 53));
+    }
+}

@@ -1,0 +1,307 @@
+//! The trading placement algorithm (Sec. 2.4; Beckmann et al., HPCA'15).
+//!
+//! After sizing, VC allocations are placed in banks. Placement first runs a
+//! greedy pass — VCs claim capacity from the banks nearest their center, in
+//! descending *intensity* (accesses per granule) so the hottest data lands
+//! closest — then a trading pass exchanges granules between VCs whenever
+//! the swap reduces total data movement (Σ accesses × distance).
+
+use wp_noc::{BankId, Coord, Floorplan};
+
+/// Placement input for one VC.
+#[derive(Debug, Clone)]
+pub struct PlacementInput {
+    /// Granules to place.
+    pub granules: usize,
+    /// Consumer center of mass.
+    pub center: Coord,
+    /// Accesses per granule (placement priority and trading weight).
+    pub intensity: f64,
+}
+
+/// Placement result: per-VC granule counts per bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementResult {
+    /// `assignments[vc][bank] = granules` (dense `num_banks` vectors).
+    pub assignments: Vec<Vec<u32>>,
+}
+
+impl PlacementResult {
+    /// Per-bank `(BankId, granules)` pairs for one VC, skipping zeros.
+    pub fn shares_of(&self, vc: usize) -> Vec<(BankId, u32)> {
+        self.assignments[vc]
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g > 0)
+            .map(|(b, &g)| (BankId(b as u16), g))
+            .collect()
+    }
+
+    /// Total data-movement cost under this placement (Σ intensity ×
+    /// granules × hops) — the objective trading minimizes.
+    pub fn cost(&self, inputs: &[PlacementInput], plan: &Floorplan) -> f64 {
+        let mut total = 0.0;
+        for (vc, input) in inputs.iter().enumerate() {
+            for (bank, &g) in self.assignments[vc].iter().enumerate() {
+                if g > 0 {
+                    let hops =
+                        plan.mesh().hops(input.center, plan.bank_coord(BankId(bank as u16)));
+                    total += input.intensity * g as f64 * hops as f64;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Greedy placement followed by pairwise trading.
+///
+/// `granules_per_bank` bounds each bank's capacity. Trading runs passes of
+/// first-improvement swaps until a pass makes no progress (or the pass cap
+/// is hit); each swap moves one granule of VC `a` from bank `x` to bank `y`
+/// and one granule of VC `b` the other way, accepted when it lowers the
+/// combined intensity-weighted distance.
+pub fn place_and_trade(
+    inputs: &[PlacementInput],
+    plan: &Floorplan,
+    granules_per_bank: u32,
+) -> PlacementResult {
+    let num_banks = plan.num_banks();
+    let mut free: Vec<u32> = vec![granules_per_bank; num_banks];
+    let mut assignments = vec![vec![0u32; num_banks]; inputs.len()];
+
+    // Greedy pass: hottest VCs claim the nearest banks first.
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.sort_by(|&a, &b| {
+        inputs[b]
+            .intensity
+            .partial_cmp(&inputs[a].intensity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &vc in &order {
+        let mut remaining = inputs[vc].granules as u32;
+        if remaining == 0 {
+            continue;
+        }
+        for bank in plan.banks_by_distance_from(inputs[vc].center) {
+            if remaining == 0 {
+                break;
+            }
+            let b = bank.0 as usize;
+            let take = remaining.min(free[b]);
+            if take > 0 {
+                assignments[vc][b] += take;
+                free[b] -= take;
+                remaining -= take;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "sizing never exceeds total capacity");
+    }
+
+    // Trading pass: swap granules pairwise while it reduces movement.
+    let hops = |vc: usize, bank: usize| -> f64 {
+        plan.mesh()
+            .hops(inputs[vc].center, plan.bank_coord(BankId(bank as u16))) as f64
+    };
+    const MAX_PASSES: usize = 8;
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        for a in 0..inputs.len() {
+            for b in (a + 1)..inputs.len() {
+                for x in 0..num_banks {
+                    if assignments[a][x] == 0 {
+                        continue;
+                    }
+                    for y in 0..num_banks {
+                        if x == y || assignments[b][y] == 0 {
+                            continue;
+                        }
+                        // Move a: x→y, b: y→x.
+                        let delta = inputs[a].intensity * (hops(a, y) - hops(a, x))
+                            + inputs[b].intensity * (hops(b, x) - hops(b, y));
+                        if delta < -1e-9 {
+                            assignments[a][x] -= 1;
+                            assignments[a][y] += 1;
+                            assignments[b][y] -= 1;
+                            assignments[b][x] += 1;
+                            improved = true;
+                            if assignments[a][x] == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    PlacementResult { assignments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_noc::CoreId;
+
+    fn plan() -> Floorplan {
+        Floorplan::four_core()
+    }
+
+    #[test]
+    fn hot_vc_gets_nearest_banks() {
+        let p = plan();
+        let c0 = p.core_coord(CoreId(0));
+        let inputs = vec![
+            PlacementInput {
+                granules: 8, // exactly one bank
+                center: c0,
+                intensity: 100.0,
+            },
+            PlacementInput {
+                granules: 8,
+                center: c0,
+                intensity: 1.0,
+            },
+        ];
+        let r = place_and_trade(&inputs, &p, 8);
+        // The hot VC owns the bank at core 0's own tile.
+        let own_tile = p.banks_by_distance(CoreId(0))[0];
+        assert_eq!(r.assignments[0][own_tile.0 as usize], 8);
+        assert_eq!(r.assignments[1][own_tile.0 as usize], 0);
+    }
+
+    #[test]
+    fn respects_bank_capacity() {
+        let p = plan();
+        let inputs = vec![PlacementInput {
+            granules: 30,
+            center: p.core_coord(CoreId(1)),
+            intensity: 5.0,
+        }];
+        let r = place_and_trade(&inputs, &p, 8);
+        for bank in 0..p.num_banks() {
+            assert!(r.assignments[0][bank] <= 8);
+        }
+        let total: u32 = r.assignments[0].iter().sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn trading_never_increases_cost() {
+        let p = plan();
+        // Two VCs from opposite cores competing for center banks.
+        let inputs = vec![
+            PlacementInput {
+                granules: 40,
+                center: p.core_coord(CoreId(0)),
+                intensity: 10.0,
+            },
+            PlacementInput {
+                granules: 40,
+                center: p.core_coord(CoreId(2)),
+                intensity: 9.0,
+            },
+        ];
+        // Greedy-only baseline: intensity order with no trades.
+        let greedy_only = {
+            let mut free = vec![8u32; p.num_banks()];
+            let mut asg = vec![vec![0u32; p.num_banks()]; 2];
+            for vc in [0usize, 1] {
+                let mut rem = inputs[vc].granules as u32;
+                for bank in p.banks_by_distance_from(inputs[vc].center) {
+                    if rem == 0 {
+                        break;
+                    }
+                    let b = bank.0 as usize;
+                    let take = rem.min(free[b]);
+                    asg[vc][b] += take;
+                    free[b] -= take;
+                    rem -= take;
+                }
+            }
+            PlacementResult { assignments: asg }
+        };
+        let traded = place_and_trade(&inputs, &p, 8);
+        assert!(traded.cost(&inputs, &p) <= greedy_only.cost(&inputs, &p) + 1e-9);
+    }
+
+    #[test]
+    fn disjoint_centers_get_disjoint_near_banks() {
+        let p = plan();
+        let inputs = vec![
+            PlacementInput {
+                granules: 16,
+                center: p.core_coord(CoreId(0)),
+                intensity: 10.0,
+            },
+            PlacementInput {
+                granules: 16,
+                center: p.core_coord(CoreId(2)),
+                intensity: 10.0,
+            },
+        ];
+        let r = place_and_trade(&inputs, &p, 8);
+        // Each VC's nearest bank belongs to it.
+        let near0 = p.banks_by_distance(CoreId(0))[0].0 as usize;
+        let near2 = p.banks_by_distance(CoreId(2))[0].0 as usize;
+        assert!(r.assignments[0][near0] > 0);
+        assert!(r.assignments[1][near2] > 0);
+        assert_eq!(r.assignments[0][near2], 0);
+        assert_eq!(r.assignments[1][near0], 0);
+    }
+
+    #[test]
+    fn zero_granules_places_nothing() {
+        let p = plan();
+        let inputs = vec![PlacementInput {
+            granules: 0,
+            center: p.core_coord(CoreId(0)),
+            intensity: 10.0,
+        }];
+        let r = place_and_trade(&inputs, &p, 8);
+        assert!(r.shares_of(0).is_empty());
+    }
+
+    #[test]
+    fn dt_like_layout_orders_pools_by_intensity() {
+        // Fig. 5: points (hottest) nearest, then vertices, then triangles.
+        let p = plan();
+        let c0 = p.core_coord(CoreId(0));
+        let inputs = vec![
+            PlacementInput {
+                granules: 8, // 0.5 MB points
+                center: c0,
+                intensity: 8.0,
+            },
+            PlacementInput {
+                granules: 24, // 1.5 MB vertices
+                center: c0,
+                intensity: 2.7,
+            },
+            PlacementInput {
+                granules: 64, // 4 MB triangles
+                center: c0,
+                intensity: 1.0,
+            },
+        ];
+        let r = place_and_trade(&inputs, &p, 8);
+        // Mean distance must be ordered points < vertices < triangles.
+        let mean_dist = |vc: usize| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (b, &g) in r.assignments[vc].iter().enumerate() {
+                if g > 0 {
+                    num += g as f64
+                        * p.mesh().hops(c0, p.bank_coord(BankId(b as u16))) as f64;
+                    den += g as f64;
+                }
+            }
+            num / den
+        };
+        assert!(mean_dist(0) < mean_dist(1));
+        assert!(mean_dist(1) < mean_dist(2));
+    }
+}

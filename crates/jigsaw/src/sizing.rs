@@ -1,0 +1,207 @@
+//! VC sizing: latency curves + convex partitioning (Sec. 2.4).
+//!
+//! Jigsaw sizes VCs on *total latency* curves, not miss curves: a VC only
+//! grows while the miss-rate reduction pays for the added network latency
+//! of reaching farther banks. Whirlpool's bypass support is one line here:
+//! bypassable VCs model zero access latency at size zero, after which the
+//! unmodified partitioning algorithm chooses bypassing whenever it wins
+//! (Sec. 3.3, Fig. 9).
+
+use wp_mrc::{
+    convex_hull_points, hull_to_points, partition_capacity_hulled, LatencyCurve, MissCurve,
+};
+use wp_noc::{Coord, Floorplan, NearestBanksLatency};
+
+/// Everything sizing needs to know about one VC.
+#[derive(Debug, Clone)]
+pub struct SizingInput {
+    /// The VC's (EWMA-blended) miss curve from its monitor.
+    pub miss_curve: MissCurve,
+    /// The VC's LLC access rate, APKI.
+    pub apki: f64,
+    /// Where the VC's consumers sit (center of mass).
+    pub center: Coord,
+    /// Whether this VC may be bypassed (single accessor + bypass enabled).
+    pub bypassable: bool,
+}
+
+/// The sizing decision for all VCs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingOutcome {
+    /// Granules allocated per VC (same order as the input).
+    pub granules: Vec<usize>,
+    /// VCs chosen for bypassing (allocation 0 *and* bypassable).
+    pub bypassed: Vec<bool>,
+    /// Expected total data-stall CPI under the chosen allocation.
+    pub expected_cpi: f64,
+}
+
+/// Sizes all VCs over `total_granules` of LLC capacity.
+///
+/// Builds each VC's latency curve with the floorplan's nearest-banks
+/// latency model, hulls it, and partitions capacity by convex hill
+/// climbing — the Peekahead-equivalent step of Jigsaw's runtime.
+pub fn size_vcs(
+    inputs: &[SizingInput],
+    plan: &Floorplan,
+    granules_per_bank: usize,
+    bank_latency: u64,
+    miss_penalty: f64,
+    total_granules: usize,
+) -> SizingOutcome {
+    let mut cost_curves = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let lat_model = NearestBanksLatency::new(
+            plan,
+            input.center,
+            granules_per_bank,
+            bank_latency,
+            total_granules,
+        );
+        let lc = LatencyCurve::build(
+            &input.miss_curve.resized(total_granules + 1),
+            input.apki,
+            &lat_model,
+            miss_penalty,
+            input.bypassable,
+        );
+        let cost = lc.to_cost_curve();
+        // Hull for optimal greedy partitioning.
+        let hull = convex_hull_points(&cost);
+        cost_curves.push(hull_to_points(&hull, cost.len()));
+    }
+    let outcome = partition_capacity_hulled(&cost_curves, total_granules);
+    let mut granules = outcome.allocations;
+    // Slack: exact-knee allocations leave a partition one hash-imbalanced
+    // bank away from thrashing. When capacity is left over (it usually is —
+    // dt fills half the chip), grant each live VC up to +12.5% headroom.
+    let used: usize = granules.iter().sum();
+    let mut spare = total_granules.saturating_sub(used);
+    for g in granules.iter_mut() {
+        if *g == 0 || spare == 0 {
+            continue;
+        }
+        let extra = (*g / 8).max(1).min(spare);
+        *g += extra;
+        spare -= extra;
+    }
+    let bypassed = inputs
+        .iter()
+        .zip(&granules)
+        .map(|(input, &g)| input.bypassable && g == 0)
+        .collect();
+    SizingOutcome {
+        granules,
+        bypassed,
+        expected_cpi: outcome.total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friendly_curve(apki: f64, knee: usize, n: usize) -> MissCurve {
+        let pts = (0..n)
+            .map(|i| {
+                if i >= knee {
+                    apki * 0.02
+                } else {
+                    apki * (1.0 - 0.9 * i as f64 / knee as f64)
+                }
+            })
+            .collect();
+        MissCurve::new(pts, 1024)
+    }
+
+    fn plan() -> Floorplan {
+        Floorplan::four_core()
+    }
+
+    #[test]
+    fn cache_friendly_vc_gets_its_working_set() {
+        let p = plan();
+        let input = SizingInput {
+            miss_curve: friendly_curve(50.0, 40, 201),
+            apki: 50.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: false,
+        };
+        let out = size_vcs(&[input], &p, 8, 9, 140.0, 200);
+        // Knee at 40 granules: allocation should be near it, not 0, and it
+        // should not balloon to the whole chip (latency-aware sizing).
+        assert!(out.granules[0] >= 30, "got {}", out.granules[0]);
+        assert!(out.granules[0] <= 80, "got {}", out.granules[0]);
+        assert!(!out.bypassed[0]);
+    }
+
+    #[test]
+    fn streaming_vc_bypasses_when_allowed() {
+        let p = plan();
+        let streaming = SizingInput {
+            miss_curve: MissCurve::flat(80.0, 201, 1024),
+            apki: 80.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: true,
+        };
+        let friendly = SizingInput {
+            miss_curve: friendly_curve(40.0, 30, 201),
+            apki: 40.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: false,
+        };
+        let out = size_vcs(&[streaming, friendly], &p, 8, 9, 140.0, 200);
+        assert_eq!(out.granules[0], 0, "streaming data gets no capacity");
+        assert!(out.bypassed[0], "and is bypassed (mis's edges, Fig. 9)");
+        assert!(out.granules[1] > 0);
+        assert!(!out.bypassed[1]);
+    }
+
+    #[test]
+    fn streaming_vc_without_bypass_still_gets_nothing() {
+        let p = plan();
+        let streaming = SizingInput {
+            miss_curve: MissCurve::flat(80.0, 201, 1024),
+            apki: 80.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: false,
+        };
+        let out = size_vcs(&[streaming], &p, 8, 9, 140.0, 200);
+        assert!(!out.bypassed[0], "bypass not allowed");
+    }
+
+    #[test]
+    fn capacity_shared_sensibly_between_competitors() {
+        let p = plan();
+        let a = SizingInput {
+            miss_curve: friendly_curve(60.0, 60, 201),
+            apki: 60.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: false,
+        };
+        let b = SizingInput {
+            miss_curve: friendly_curve(30.0, 60, 201),
+            apki: 30.0,
+            center: p.core_coord(wp_noc::CoreId(2)),
+            bypassable: false,
+        };
+        let out = size_vcs(&[a, b], &p, 8, 9, 140.0, 100);
+        let total: usize = out.granules.iter().sum();
+        assert!(total <= 100);
+        // The hotter VC gets at least as much.
+        assert!(out.granules[0] >= out.granules[1]);
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let p = plan();
+        let a = SizingInput {
+            miss_curve: friendly_curve(60.0, 60, 201),
+            apki: 60.0,
+            center: p.core_coord(wp_noc::CoreId(0)),
+            bypassable: false,
+        };
+        let out = size_vcs(&[a], &p, 8, 9, 140.0, 0);
+        assert_eq!(out.granules, vec![0]);
+    }
+}

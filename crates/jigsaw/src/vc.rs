@@ -1,0 +1,250 @@
+//! Virtual-cache state.
+
+use wp_cache::{MonitorConfig, UtilityMonitor};
+use wp_mem::VcId;
+use wp_noc::{BankId, Coord, CoreId};
+
+use crate::vtb::Vtb;
+
+/// What a VC holds (Sec. 2.4: thread-private, process, and global VCs;
+/// Sec. 3.2 adds user-level pool VCs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcKind {
+    /// Data private to one thread (pages start here and upgrade lazily).
+    ThreadPrivate(CoreId),
+    /// Data shared by threads of one process.
+    Process,
+    /// Data shared across processes.
+    Global,
+    /// A user-level pool VC (Whirlpool): created via `sys_vc_alloc` and
+    /// tagged onto pages by the pool allocator.
+    UserPool {
+        /// The core whose thread created the pool (its initial center).
+        home: CoreId,
+        /// Pool name for reports.
+        name: String,
+    },
+}
+
+/// Runtime state of one virtual cache.
+#[derive(Debug)]
+pub struct VcState {
+    /// The VC's id as carried in page tags.
+    pub id: VcId,
+    /// What it holds.
+    pub kind: VcKind,
+    /// The VTB entry mapping its addresses to banks.
+    pub vtb: Vtb,
+    /// Per-bank line quotas `(bank, lines)` from the last reconfiguration.
+    pub shares: Vec<(BankId, u64)>,
+    /// Utility monitor (GMON) observing this VC's access stream.
+    pub monitor: UtilityMonitor,
+    /// Accesses per core in the current interval (drives the center of
+    /// mass and the single-accessor bypass rule).
+    pub core_accesses: Vec<u64>,
+    /// Whether the VC is currently bypassed.
+    pub bypassed: bool,
+    /// Whether the runtime may bypass this VC (requires single-thread
+    /// access; Whirlpool enables this, baseline Jigsaw can too when its
+    /// bypass extension is on).
+    pub bypass_allowed: bool,
+    /// Center of mass used for placement (tile coordinate).
+    pub center: Coord,
+    /// Granules allocated at the last reconfiguration.
+    pub allocated_granules: usize,
+    /// Smoothed accesses-per-interval (EWMA), for placement intensity.
+    pub smoothed_accesses: f64,
+    /// Lifetime LLC hits served from this VC.
+    pub hits: u64,
+    /// Lifetime LLC misses through this VC.
+    pub misses: u64,
+    /// Lifetime bypassed accesses.
+    pub bypasses: u64,
+}
+
+impl VcState {
+    /// Creates a VC centered at `center` with a monitor configured for the
+    /// system's curve resolution.
+    pub fn new(
+        id: VcId,
+        kind: VcKind,
+        center: Coord,
+        num_cores: usize,
+        monitor_config: MonitorConfig,
+        home_bank: BankId,
+    ) -> Self {
+        Self {
+            id,
+            kind,
+            vtb: Vtb::degenerate(home_bank),
+            shares: Vec::new(),
+            monitor: UtilityMonitor::new(monitor_config),
+            core_accesses: vec![0; num_cores],
+            bypassed: false,
+            bypass_allowed: false,
+            center,
+            allocated_granules: 0,
+            smoothed_accesses: 0.0,
+            hits: 0,
+            misses: 0,
+            bypasses: 0,
+        }
+    }
+
+    /// Records an access for interval bookkeeping (the monitor is fed
+    /// separately with the line address).
+    pub fn note_access(&mut self, core: CoreId) {
+        self.core_accesses[core.0 as usize] += 1;
+    }
+
+    /// Total accesses this interval.
+    pub fn interval_accesses(&self) -> u64 {
+        self.core_accesses.iter().sum()
+    }
+
+    /// Whether a single core produced all of this interval's accesses
+    /// (the safety condition for bypassing, Sec. 3.2).
+    pub fn single_accessor(&self) -> Option<CoreId> {
+        let mut owner = None;
+        for (i, &n) in self.core_accesses.iter().enumerate() {
+            if n > 0 {
+                if owner.is_some() {
+                    return None;
+                }
+                owner = Some(CoreId(i as u16));
+            }
+        }
+        owner
+    }
+
+    /// Updates the center of mass from this interval's per-core accesses
+    /// (weighted centroid of requesting cores, snapped to the grid).
+    /// Quiet intervals keep the previous center.
+    pub fn update_center(&mut self, core_coords: &[Coord]) {
+        let total: u64 = self.core_accesses.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let (mut x, mut y) = (0.0f64, 0.0f64);
+        for (i, &n) in self.core_accesses.iter().enumerate() {
+            let w = n as f64 / total as f64;
+            x += core_coords[i].x as f64 * w;
+            y += core_coords[i].y as f64 * w;
+        }
+        self.center = Coord::new(x.round() as u16, y.round() as u16);
+    }
+
+    /// Ends the interval: updates smoothed access rate and clears per-core
+    /// counters. Returns this interval's raw access count.
+    pub fn end_interval(&mut self) -> u64 {
+        let n = self.interval_accesses();
+        const ALPHA: f64 = 0.6;
+        self.smoothed_accesses = ALPHA * n as f64 + (1.0 - ALPHA) * self.smoothed_accesses;
+        self.core_accesses.iter_mut().for_each(|c| *c = 0);
+        n
+    }
+
+    /// Placement intensity: accesses per granule of allocation — "lines
+    /// that are accessed more frequently pay a larger penalty for poor
+    /// placement" (Sec. 2.4).
+    pub fn intensity(&self) -> f64 {
+        self.smoothed_accesses / self.allocated_granules.max(1) as f64
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            VcKind::ThreadPrivate(c) => format!("thread{}", c.0),
+            VcKind::Process => "process".into(),
+            VcKind::Global => "global".into(),
+            VcKind::UserPool { name, .. } => name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc() -> VcState {
+        VcState::new(
+            VcId(1),
+            VcKind::ThreadPrivate(CoreId(0)),
+            Coord::new(0, 2),
+            4,
+            MonitorConfig::default(),
+            BankId(0),
+        )
+    }
+
+    #[test]
+    fn single_accessor_detection() {
+        let mut v = vc();
+        assert_eq!(v.single_accessor(), None); // no accesses at all
+        v.note_access(CoreId(2));
+        v.note_access(CoreId(2));
+        assert_eq!(v.single_accessor(), Some(CoreId(2)));
+        v.note_access(CoreId(0));
+        assert_eq!(v.single_accessor(), None);
+    }
+
+    #[test]
+    fn center_follows_accessors() {
+        let mut v = vc();
+        let coords = [
+            Coord::new(0, 2),
+            Coord::new(2, 0),
+            Coord::new(4, 2),
+            Coord::new(2, 4),
+        ];
+        // All accesses from core 2 (right edge): center moves there.
+        for _ in 0..10 {
+            v.note_access(CoreId(2));
+        }
+        v.update_center(&coords);
+        assert_eq!(v.center, Coord::new(4, 2));
+        // Mixed 50/50 between left and right: center in the middle.
+        v.end_interval();
+        for _ in 0..5 {
+            v.note_access(CoreId(0));
+            v.note_access(CoreId(2));
+        }
+        v.update_center(&coords);
+        assert_eq!(v.center, Coord::new(2, 2));
+    }
+
+    #[test]
+    fn quiet_interval_keeps_center() {
+        let mut v = vc();
+        let coords = [Coord::new(0, 2); 4];
+        let before = v.center;
+        v.update_center(&coords);
+        assert_eq!(v.center, before);
+    }
+
+    #[test]
+    fn interval_rollover_smooths() {
+        let mut v = vc();
+        for _ in 0..100 {
+            v.note_access(CoreId(0));
+        }
+        assert_eq!(v.end_interval(), 100);
+        assert!(v.smoothed_accesses > 0.0);
+        let s1 = v.smoothed_accesses;
+        assert_eq!(v.end_interval(), 0);
+        assert!(v.smoothed_accesses < s1, "idle interval decays the rate");
+    }
+
+    #[test]
+    fn intensity_divides_by_allocation() {
+        let mut v = vc();
+        for _ in 0..60 {
+            v.note_access(CoreId(0));
+        }
+        v.end_interval();
+        v.allocated_granules = 6;
+        let i6 = v.intensity();
+        v.allocated_granules = 12;
+        assert!(v.intensity() < i6);
+    }
+}

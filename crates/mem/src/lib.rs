@@ -1,0 +1,37 @@
+//! Simulated virtual memory and pool-aware allocation.
+//!
+//! Whirlpool classifies data at page granularity: its allocator ensures
+//! every page belongs to at most one *memory pool*, and the virtual-memory
+//! system (page table / TLB) tags each page with the virtual cache (VC) that
+//! caches it (Sec. 3.1–3.2). This crate provides those substrates:
+//!
+//! * address-space newtypes and constants ([`VirtAddr`], [`PageId`],
+//!   [`LineAddr`], [`PAGE_BYTES`]),
+//! * [`PageTable`] — page → VC-tag mapping with range tagging (the
+//!   `sys_vc_tag` / modified `sys_mmap` equivalent),
+//! * [`Heap`] — a region-based, pool-aware memory allocator in the spirit
+//!   of Doug Lea's malloc, guaranteeing page-exclusive pools and recording
+//!   the *callpoint* of every allocation for WhirlTool's profiler.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_mem::{CallpointId, Heap, PoolId};
+//!
+//! let mut heap = Heap::new();
+//! let pool = heap.create_pool();
+//! let a = heap.pool_malloc(4096, pool, CallpointId(0xABC));
+//! let b = heap.pool_malloc(128, pool, CallpointId(0xABC));
+//! assert_ne!(a.0, b.0);
+//! assert_eq!(heap.pool_of_addr(a), Some(pool));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod heap;
+mod pagetable;
+
+pub use addr::{LineAddr, PageId, VirtAddr, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
+pub use heap::{Allocation, CallpointId, Heap, PoolId};
+pub use pagetable::{PageTable, VcId};

@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for the simulator's hot paths.
+//!
+//! The standard library's SipHash is robust against adversarial keys but
+//! costs ~10× more than needed for line addresses and page numbers, which
+//! dominate this workspace's inner loops. `FxHasher` is the classic
+//! multiply-rotate mix (as used by rustc); [`FastMap`] / [`FastSet`] are
+//! drop-in `HashMap`/`HashSet` aliases over it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher for integer-like keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(bh.hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small ints");
+    }
+
+    #[test]
+    fn set_works() {
+        let mut s: FastSet<u64> = FastSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+        assert!(!s.contains(&43));
+    }
+}

@@ -1,0 +1,180 @@
+//! Stack-distance histograms.
+
+use std::collections::BTreeMap;
+
+/// A histogram of LRU stack distances (in cache lines), plus a count of
+/// *cold* accesses whose distance is infinite (first touch).
+///
+/// Distances are exact and sparse: most programs touch a handful of distinct
+/// reuse distances, so a `BTreeMap` keyed by distance keeps both memory and
+/// iteration (in ascending distance order, which miss-curve construction
+/// needs) cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StackDistanceHistogram {
+    finite: BTreeMap<u64, u64>,
+    cold: u64,
+    weight: u64,
+}
+
+impl StackDistanceHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finite stack distance (number of distinct lines touched
+    /// since the last access to this line, inclusive of the line itself).
+    ///
+    /// A distance of `d` means the access hits in any cache holding at least
+    /// `d` lines of this stream.
+    pub fn record(&mut self, distance: u64) {
+        self.record_weighted(distance, 1);
+    }
+
+    /// Records a finite distance with a multiplicity (used by sampled
+    /// monitors, which scale each observation by the sampling rate).
+    pub fn record_weighted(&mut self, distance: u64, count: u64) {
+        *self.finite.entry(distance.max(1)).or_insert(0) += count;
+        self.weight += count;
+    }
+
+    /// Records a cold (compulsory) access: infinite stack distance.
+    pub fn record_cold(&mut self) {
+        self.record_cold_weighted(1);
+    }
+
+    /// Records cold accesses with a multiplicity.
+    pub fn record_cold_weighted(&mut self, count: u64) {
+        self.cold += count;
+        self.weight += count;
+    }
+
+    /// Total recorded accesses (finite + cold), with weights.
+    pub fn total(&self) -> u64 {
+        self.weight
+    }
+
+    /// Total finite-distance accesses.
+    pub fn finite_total(&self) -> u64 {
+        self.weight - self.cold
+    }
+
+    /// Number of cold (first-touch) accesses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Largest finite distance observed (0 if none).
+    pub fn max_distance(&self) -> u64 {
+        self.finite.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Iterates `(distance, count)` pairs in ascending distance order.
+    pub fn iter_finite(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.finite.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (d, c) in other.iter_finite() {
+            self.record_weighted(d, c);
+        }
+        self.record_cold_weighted(other.cold);
+        self.weight -= other.cold + other.finite_total(); // record_* double-counted
+        self.weight += other.weight;
+    }
+
+    /// Clears all recorded data.
+    pub fn clear(&mut self) {
+        self.finite.clear();
+        self.cold = 0;
+        self.weight = 0;
+    }
+
+    /// Number of accesses that would hit in a cache of `capacity_lines`
+    /// lines (finite distances ≤ capacity).
+    pub fn hits_at(&self, capacity_lines: u64) -> u64 {
+        self.finite
+            .range(..=capacity_lines)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Number of accesses that would miss in a cache of `capacity_lines`.
+    pub fn misses_at(&self, capacity_lines: u64) -> u64 {
+        self.total() - self.hits_at(capacity_lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut h = StackDistanceHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(10);
+        h.record_cold();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.finite_total(), 3);
+        assert_eq!(h.cold_misses(), 1);
+        assert_eq!(h.max_distance(), 10);
+    }
+
+    #[test]
+    fn zero_distance_clamps_to_one() {
+        let mut h = StackDistanceHistogram::new();
+        h.record(0);
+        assert_eq!(h.hits_at(1), 1);
+    }
+
+    #[test]
+    fn hits_and_misses_partition_total() {
+        let mut h = StackDistanceHistogram::new();
+        for d in [1u64, 5, 5, 9, 100] {
+            h.record(d);
+        }
+        h.record_cold_weighted(3);
+        for cap in [0u64, 1, 4, 5, 9, 99, 100, 1000] {
+            assert_eq!(h.hits_at(cap) + h.misses_at(cap), h.total());
+        }
+        assert_eq!(h.hits_at(5), 3);
+        assert_eq!(h.misses_at(5), 5);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = StackDistanceHistogram::new();
+        a.record(2);
+        a.record_cold();
+        let mut b = StackDistanceHistogram::new();
+        b.record(2);
+        b.record(7);
+        b.record_cold_weighted(2);
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.cold_misses(), 3);
+        assert_eq!(a.hits_at(2), 2);
+        assert_eq!(a.hits_at(7), 3);
+    }
+
+    #[test]
+    fn weighted_records_scale() {
+        let mut h = StackDistanceHistogram::new();
+        h.record_weighted(4, 64);
+        assert_eq!(h.total(), 64);
+        assert_eq!(h.hits_at(4), 64);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let mut h = StackDistanceHistogram::new();
+        for d in [9u64, 1, 5] {
+            h.record(d);
+        }
+        let ds: Vec<u64> = h.iter_finite().map(|(d, _)| d).collect();
+        assert_eq!(ds, vec![1, 5, 9]);
+    }
+}

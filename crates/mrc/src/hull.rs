@@ -1,0 +1,141 @@
+//! Lower convex hulls of miss/latency curves.
+//!
+//! Jigsaw partitions capacity on the *convex hulls* of per-VC curves (a
+//! linear-time operation, Sec. 4.2): with convex curves, greedy marginal
+//! allocation is optimal, and convex performance is practically realizable
+//! via Talus-style partitioning within each VC.
+
+use crate::curve::MissCurve;
+
+/// A vertex of a curve's lower convex hull.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HullPoint {
+    /// Capacity in granules.
+    pub granules: usize,
+    /// Curve value (MPKI or CPI) at that capacity.
+    pub value: f64,
+}
+
+/// Computes the vertices of the lower convex hull of `points`
+/// (x = index, y = value) using a single monotone-chain pass.
+///
+/// The first and last points are always vertices. For the non-increasing
+/// curves used in this crate the hull is convex and non-increasing.
+pub fn convex_hull_points(points: &[f64]) -> Vec<HullPoint> {
+    assert!(!points.is_empty(), "cannot hull an empty curve");
+    let mut hull: Vec<HullPoint> = Vec::new();
+    for (i, &y) in points.iter().enumerate() {
+        let p = HullPoint {
+            granules: i,
+            value: y,
+        };
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // Remove b if it lies on or above segment a->p (cross product).
+            let cross = (b.granules as f64 - a.granules as f64) * (p.value - a.value)
+                - (b.value - a.value) * (p.granules as f64 - a.granules as f64);
+            if cross <= 1e-12 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull
+}
+
+/// Evaluates a hull (as returned by [`convex_hull_points`]) at every integer
+/// capacity, producing the convex minorant of the original points.
+pub fn hull_to_points(hull: &[HullPoint], len: usize) -> Vec<f64> {
+    assert!(!hull.is_empty());
+    let mut out = Vec::with_capacity(len);
+    let mut seg = 0;
+    for i in 0..len {
+        while seg + 1 < hull.len() && hull[seg + 1].granules < i {
+            seg += 1;
+        }
+        if seg + 1 >= hull.len() {
+            out.push(hull[hull.len() - 1].value);
+            continue;
+        }
+        let (a, b) = (hull[seg], hull[seg + 1]);
+        if i <= a.granules {
+            out.push(a.value);
+        } else {
+            let t = (i - a.granules) as f64 / (b.granules - a.granules) as f64;
+            out.push(a.value + t * (b.value - a.value));
+        }
+    }
+    out
+}
+
+/// Returns the convex minorant of a miss curve as a new curve.
+///
+/// The result is pointwise ≤ the input and convex; partitioning algorithms
+/// in [`crate::partition`] operate on these.
+pub fn convex_hull(curve: &MissCurve) -> MissCurve {
+    let hull = convex_hull_points(curve.points());
+    let pts = hull_to_points(&hull, curve.len());
+    MissCurve::new(pts, curve.granule_lines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_convex_curve_is_identity() {
+        let c = MissCurve::new(vec![10.0, 6.0, 3.0, 1.0, 0.0], 4);
+        let h = convex_hull(&c);
+        for i in 0..c.len() {
+            assert!((h.mpki_at(i) - c.mpki_at(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hull_cuts_cliffs() {
+        // A cliff at 3: flat then sudden drop. Hull is the straight chord.
+        let c = MissCurve::new(vec![9.0, 9.0, 9.0, 0.0], 4);
+        let h = convex_hull(&c);
+        assert!((h.mpki_at(0) - 9.0).abs() < 1e-9);
+        assert!((h.mpki_at(1) - 6.0).abs() < 1e-9);
+        assert!((h.mpki_at(2) - 3.0).abs() < 1e-9);
+        assert!((h.mpki_at(3) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_below_or_equal_everywhere() {
+        let c = MissCurve::new(vec![8.0, 7.5, 2.0, 1.9, 1.9, 0.0], 4);
+        let h = convex_hull(&c);
+        for i in 0..c.len() {
+            assert!(h.mpki_at(i) <= c.mpki_at(i) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hull_endpoints_preserved() {
+        let c = MissCurve::new(vec![5.0, 4.0, 4.0, 3.5], 4);
+        let h = convex_hull(&c);
+        assert_eq!(h.mpki_at(0), 5.0);
+        assert!((h.mpki_at(3) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_hull() {
+        let c = MissCurve::new(vec![2.0], 4);
+        let h = convex_hull(&c);
+        assert_eq!(h.points(), &[2.0]);
+    }
+
+    #[test]
+    fn hull_vertices_are_sparse() {
+        let c = MissCurve::new(vec![10.0, 8.0, 6.0, 4.0, 2.0, 0.0], 4);
+        let verts = convex_hull_points(c.points());
+        // Perfectly linear: just the two endpoints.
+        assert_eq!(verts.len(), 2);
+        assert_eq!(verts[0].granules, 0);
+        assert_eq!(verts[1].granules, 5);
+    }
+}

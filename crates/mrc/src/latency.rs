@@ -1,0 +1,200 @@
+//! Jigsaw's end-to-end memory latency model (Sec. 2.4), with Whirlpool's
+//! bypass extension (Sec. 3.2/3.3).
+//!
+//! The total latency of a VC is the sum of VC access latency (access rate ×
+//! network-plus-bank latency) and memory latency (miss rate × miss penalty).
+//! Jigsaw sizes VCs on these curves rather than raw miss curves, so a VC is
+//! not grown when the miss-rate reduction does not pay for the extra network
+//! distance. Whirlpool's only change for bypassable VCs is to drop the cache
+//! access latency at size zero — after which the unmodified partitioning
+//! algorithm chooses bypassing whenever it wins.
+
+use crate::curve::MissCurve;
+
+/// Average LLC access latency (network round trip + bank) as a function of
+/// VC size, for a VC placed in the banks nearest its consumer.
+///
+/// `wp-noc` provides the real mesh-based implementation; [`UniformLatency`]
+/// is a trivial one for tests and monolithic-cache modelling.
+pub trait AccessLatencyModel {
+    /// Average access latency in cycles when the VC spans `granules`
+    /// granules of capacity (placed greedily in the nearest banks).
+    fn access_latency(&self, granules: usize) -> f64;
+}
+
+/// A constant access latency regardless of size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformLatency(pub f64);
+
+impl AccessLatencyModel for UniformLatency {
+    fn access_latency(&self, _granules: usize) -> f64 {
+        self.0
+    }
+}
+
+impl<F: Fn(usize) -> f64> AccessLatencyModel for F {
+    fn access_latency(&self, granules: usize) -> f64 {
+        self(granules)
+    }
+}
+
+/// A total-latency curve: expected data-stall cycles per instruction (CPI)
+/// as a function of VC capacity — the curves of Fig. 8b / 9b / 11b-c.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyCurve {
+    points: Vec<f64>,
+    granule_lines: u64,
+}
+
+impl LatencyCurve {
+    /// Builds the latency curve for a VC.
+    ///
+    /// * `misses` — the VC's miss curve (MPKI vs capacity).
+    /// * `apki` — the VC's LLC access rate (accesses per kilo-instruction);
+    ///   normally `misses.at_zero()`.
+    /// * `lat` — access-latency model (network + bank, cycles).
+    /// * `miss_penalty` — cycles added per LLC miss (memory latency).
+    /// * `bypassable` — if true, the size-0 point excludes the cache access
+    ///   latency entirely: L2 misses go straight to memory (Whirlpool's VC
+    ///   bypassing). Only single-thread VCs may be bypassed; the caller
+    ///   enforces that rule.
+    pub fn build(
+        misses: &MissCurve,
+        apki: f64,
+        lat: &dyn AccessLatencyModel,
+        miss_penalty: f64,
+        bypassable: bool,
+    ) -> Self {
+        assert!(apki >= 0.0 && miss_penalty >= 0.0);
+        let mut points = Vec::with_capacity(misses.len());
+        for s in 0..misses.len() {
+            let access_lat = if s == 0 && bypassable {
+                0.0
+            } else {
+                lat.access_latency(s)
+            };
+            let cpi =
+                (apki * access_lat + misses.mpki_at(s) * miss_penalty) / 1000.0;
+            points.push(cpi);
+        }
+        Self {
+            points,
+            granule_lines: misses.granule_lines(),
+        }
+    }
+
+    /// Stall CPI at `granules` of capacity (saturating beyond the end).
+    pub fn cpi_at(&self, granules: usize) -> f64 {
+        self.points[granules.min(self.points.len() - 1)]
+    }
+
+    /// Raw points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Latency curves are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lines per granule.
+    pub fn granule_lines(&self) -> u64 {
+        self.granule_lines
+    }
+
+    /// The capacity (granules) minimizing total latency — where Jigsaw stops
+    /// growing a VC even if more capacity would still cut misses (Fig. 8b).
+    pub fn argmin(&self) -> usize {
+        let mut best = 0;
+        for (i, &p) in self.points.iter().enumerate() {
+            if p < self.points[best] - 1e-12 {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The cost vector for the partitioning machinery: the curve's running
+    /// minimum (so that cost never increases with capacity — allocating
+    /// beyond the latency-optimal point is modelled as keeping the optimum,
+    /// since the runtime would simply not use the excess).
+    pub fn to_cost_curve(&self) -> Vec<f64> {
+        let mut out = self.points.clone();
+        for i in 1..out.len() {
+            if out[i] > out[i - 1] {
+                out[i] = out[i - 1];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miss_curve() -> MissCurve {
+        MissCurve::new(vec![50.0, 20.0, 8.0, 3.0, 1.0, 1.0, 1.0], 4)
+    }
+
+    #[test]
+    fn latency_decomposition() {
+        let m = miss_curve();
+        let lc = LatencyCurve::build(&m, 50.0, &UniformLatency(20.0), 120.0, false);
+        // at s=2: (50*20 + 8*120)/1000
+        assert!((lc.cpi_at(2) - (1000.0 + 960.0) / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bypass_zeroes_access_latency_at_zero() {
+        let m = miss_curve();
+        let with = LatencyCurve::build(&m, 50.0, &UniformLatency(20.0), 120.0, true);
+        let without = LatencyCurve::build(&m, 50.0, &UniformLatency(20.0), 120.0, false);
+        assert!(with.cpi_at(0) < without.cpi_at(0));
+        assert_eq!(with.cpi_at(1), without.cpi_at(1));
+        // Bypassed point = only miss traffic.
+        assert!((with.cpi_at(0) - 50.0 * 120.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_pool_prefers_bypass() {
+        // Flat miss curve: caching never helps, bypassing removes lookup cost.
+        let m = MissCurve::flat(40.0, 6, 4);
+        let lc = LatencyCurve::build(&m, 40.0, &UniformLatency(25.0), 120.0, true);
+        assert_eq!(lc.argmin(), 0, "streaming data should bypass");
+    }
+
+    #[test]
+    fn growing_latency_caps_useful_size() {
+        // Miss curve flattens at 3 granules; latency grows with size, so the
+        // optimum is at the knee, not the end (dt's unused banks, Fig. 4).
+        let m = miss_curve();
+        let grow = |g: usize| 10.0 + 4.0 * g as f64;
+        let lc = LatencyCurve::build(&m, 50.0, &grow, 120.0, false);
+        let opt = lc.argmin();
+        assert!(opt >= 2 && opt <= 4, "optimum {opt} should sit at the knee");
+        assert!(lc.cpi_at(opt) < lc.cpi_at(6));
+    }
+
+    #[test]
+    fn cost_curve_is_non_increasing() {
+        let m = miss_curve();
+        let grow = |g: usize| 10.0 + 6.0 * g as f64;
+        let lc = LatencyCurve::build(&m, 50.0, &grow, 120.0, false);
+        let cc = lc.to_cost_curve();
+        assert!(cc.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn closure_models_work() {
+        let m = miss_curve();
+        let lc = LatencyCurve::build(&m, 10.0, &|_g: usize| 15.0, 100.0, false);
+        assert!(lc.cpi_at(0) > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Miss-rate-curve mathematics for the Whirlpool reproduction.
+//!
+//! This crate implements the analytical substrate that both Jigsaw's runtime
+//! and WhirlTool's analyzer depend on:
+//!
+//! * [`MissCurve`] — misses-per-kilo-instruction (MPKI) as a function of
+//!   cache capacity, plus the algebra defined on such curves.
+//! * [`StackDistanceHistogram`] and [`MattsonStack`] — exact and sampled
+//!   LRU stack-distance profiling, from which miss curves are derived.
+//! * [`convex_hull`] — the lower convex hull of a miss or latency curve
+//!   (Jigsaw partitions on hulls; convex performance is realizable via
+//!   Talus-style partitioning within a VC, per Sec. 4.2 of the paper).
+//! * [`combine_miss_curves`] — the Appendix-B *flow model* that estimates
+//!   the miss curve of two pools sharing one cache.
+//! * [`partition_capacity`] / [`partitioned_curve`] — convex-optimization
+//!   capacity partitioning (the hill-climbing step WhirlTool and Jigsaw use).
+//! * [`LatencyCurve`] — Jigsaw's end-to-end latency model: access rate ×
+//!   access latency plus miss rate × miss penalty, with optional bypassing
+//!   at zero capacity (Whirlpool's Sec. 3.2/3.3 extension).
+//!
+//! # Example
+//!
+//! ```
+//! use wp_mrc::{MattsonStack, MissCurve};
+//!
+//! let mut stack = MattsonStack::new();
+//! // A tiny loop over 4 lines, twice: second pass hits at distance 4.
+//! for _ in 0..2 {
+//!     for line in 0..4u64 {
+//!         stack.access(line);
+//!     }
+//! }
+//! let hist = stack.histogram();
+//! // 4 cold misses and 4 reuses at stack distance 4 (need >= 4 lines to hit).
+//! assert_eq!(hist.cold_misses(), 4);
+//! let curve = MissCurve::from_histogram(&hist, 8_000, 1);
+//! // With at least 4 lines of capacity, only the cold misses remain.
+//! assert!(curve.mpki_at(4) <= curve.mpki_at(0));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combine;
+pub mod fxmap;
+mod curve;
+mod histogram;
+mod hull;
+mod latency;
+mod mattson;
+mod partition;
+
+pub use combine::{combine_miss_curves, combine_many};
+pub use fxmap::{FastMap, FastSet};
+pub use curve::MissCurve;
+pub use histogram::StackDistanceHistogram;
+pub use hull::{convex_hull, convex_hull_points, hull_to_points, HullPoint};
+pub use latency::{AccessLatencyModel, LatencyCurve, UniformLatency};
+pub use mattson::{MattsonStack, SampledStack};
+pub use partition::{
+    partition_capacity, partition_capacity_hulled, partitioned_curve, PartitionOutcome,
+};
+
+/// A cache line is 64 bytes throughout the reproduction (Table 3).
+pub const LINE_BYTES: u64 = 64;
+
+/// Default capacity granule used when quantizing curves: 64 KB = 1024 lines.
+///
+/// Jigsaw partitions bank capacity at sub-bank granularity; 64 KB gives
+/// 8 granules per 512 KB bank and 200 points across the 4-core, 12.5 MB LLC.
+pub const DEFAULT_GRANULE_LINES: u64 = 1024;

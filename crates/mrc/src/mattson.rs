@@ -1,0 +1,360 @@
+//! Exact and sampled LRU stack-distance profiling (Mattson's algorithm).
+
+use crate::fxmap::FastMap;
+use crate::histogram::StackDistanceHistogram;
+
+/// A Fenwick (binary-indexed) tree over access timestamps, used to count the
+/// number of distinct lines touched since a given time in `O(log n)`.
+///
+/// Keeps a shadow array of point values so the tree can be rebuilt exactly
+/// when it grows (zero-extending a Fenwick array is incorrect once prefix
+/// queries cross the old boundary).
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u32>,
+    vals: Vec<u32>,
+}
+
+impl Fenwick {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+            vals: vec![0; n],
+        }
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        if n <= self.vals.len() {
+            return;
+        }
+        let new_len = (n + 1).next_power_of_two();
+        self.vals.resize(new_len, 0);
+        self.tree = vec![0; new_len + 1];
+        // O(n) Fenwick build: push each node's partial sum to its parent.
+        for i in 1..=new_len {
+            self.tree[i] += self.vals[i - 1];
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= new_len {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
+
+    fn add(&mut self, i: usize, delta: i32) {
+        self.vals[i] = (self.vals[i] as i64 + delta as i64) as u32;
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of `[a, b]` inclusive; zero if the range is empty.
+    fn range(&self, a: usize, b: usize) -> u64 {
+        if a > b {
+            return 0;
+        }
+        let lo = if a == 0 { 0 } else { self.prefix(a - 1) };
+        self.prefix(b) - lo
+    }
+}
+
+/// Exact LRU stack-distance profiler.
+///
+/// Feed it line addresses with [`access`](MattsonStack::access); it returns
+/// the stack distance of each access (or `None` for a cold first touch) and
+/// accumulates a [`StackDistanceHistogram`]. The implementation is the
+/// classic timestamp + Fenwick-tree formulation: `O(log n)` per access,
+/// with periodic timestamp compaction so memory stays proportional to the
+/// number of *distinct* lines rather than total accesses.
+///
+/// # Example
+///
+/// ```
+/// use wp_mrc::MattsonStack;
+/// let mut s = MattsonStack::new();
+/// assert_eq!(s.access(0xA), None);    // cold
+/// assert_eq!(s.access(0xB), None);    // cold
+/// assert_eq!(s.access(0xA), Some(2)); // B then A touched since last A
+/// ```
+#[derive(Debug, Clone)]
+pub struct MattsonStack {
+    last_time: FastMap<u64, usize>,
+    present: Fenwick,
+    time: usize,
+    live: usize,
+    hist: StackDistanceHistogram,
+}
+
+impl Default for MattsonStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MattsonStack {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self {
+            last_time: FastMap::default(),
+            present: Fenwick::with_capacity(1 << 12),
+            time: 0,
+            live: 0,
+            hist: StackDistanceHistogram::new(),
+        }
+    }
+
+    /// Processes one access to `line` and returns its stack distance
+    /// (`None` for a cold miss). Distances count distinct lines including
+    /// the accessed line itself, so a hit immediately after the previous
+    /// access to the same line has distance 1.
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        self.maybe_compact();
+        let t = self.time;
+        self.present.grow_to(t + 1);
+        let dist = match self.last_time.insert(line, t) {
+            Some(t0) => {
+                // Distinct lines touched strictly after t0, plus this line.
+                let between = self.present.range(t0 + 1, t.saturating_sub(1));
+                self.present.add(t0, -1);
+                Some(between + 1)
+            }
+            None => {
+                self.live += 1;
+                None
+            }
+        };
+        self.present.add(t, 1);
+        self.time += 1;
+        match dist {
+            Some(d) => self.hist.record(d),
+            None => self.hist.record_cold(),
+        }
+        dist
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn distinct_lines(&self) -> usize {
+        self.live
+    }
+
+    /// The accumulated histogram.
+    pub fn histogram(&self) -> &StackDistanceHistogram {
+        &self.hist
+    }
+
+    /// Takes the histogram, leaving an empty one (the LRU stack itself is
+    /// preserved, so reuse across interval boundaries is still seen).
+    pub fn take_histogram(&mut self) -> StackDistanceHistogram {
+        std::mem::take(&mut self.hist)
+    }
+
+    /// Compacts timestamps when the time axis is much larger than the live
+    /// set, keeping the Fenwick tree small on long runs.
+    fn maybe_compact(&mut self) {
+        const SLACK: usize = 4;
+        if self.time < (1 << 16) || self.time < SLACK * self.live.max(1) {
+            return;
+        }
+        let mut entries: Vec<(u64, usize)> =
+            self.last_time.iter().map(|(&a, &t)| (a, t)).collect();
+        entries.sort_by_key(|&(_, t)| t);
+        let n = entries.len();
+        self.present = Fenwick::with_capacity((n + 1).max(1 << 12));
+        for (rank, (addr, _)) in entries.into_iter().enumerate() {
+            self.last_time.insert(addr, rank);
+            self.present.add(rank, 1);
+        }
+        self.time = n;
+    }
+}
+
+/// A spatially-sampled stack-distance profiler (SHARDS-style).
+///
+/// Only lines whose hash falls under a threshold are tracked; observed
+/// distances and counts are scaled by the inverse sampling rate. This is the
+/// model for Jigsaw/Whirlpool's GMON hardware monitors, which sample a
+/// subset of sets/lines to keep overheads low (Sec. 2.4/3.2).
+#[derive(Debug, Clone)]
+pub struct SampledStack {
+    inner: MattsonStack,
+    rate_log2: u32,
+    hist: StackDistanceHistogram,
+}
+
+impl SampledStack {
+    /// Creates a profiler that samples one in `2^rate_log2` lines.
+    /// `rate_log2 == 0` degenerates to exact profiling.
+    pub fn new(rate_log2: u32) -> Self {
+        Self {
+            inner: MattsonStack::new(),
+            rate_log2,
+            hist: StackDistanceHistogram::new(),
+        }
+    }
+
+    fn sampled(&self, line: u64) -> bool {
+        if self.rate_log2 == 0 {
+            return true;
+        }
+        // Fibonacci hashing: cheap, well-mixed low bits.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.rate_log2)) == 0
+    }
+
+    /// Processes one access; untracked lines are ignored.
+    pub fn access(&mut self, line: u64) {
+        if !self.sampled(line) {
+            return;
+        }
+        let scale = 1u64 << self.rate_log2;
+        match self.inner.access(line) {
+            Some(d) => self.hist.record_weighted(d * scale, scale),
+            None => self.hist.record_cold_weighted(scale),
+        }
+    }
+
+    /// The accumulated (scaled) histogram.
+    pub fn histogram(&self) -> &StackDistanceHistogram {
+        &self.hist
+    }
+
+    /// Takes the scaled histogram, leaving an empty one.
+    pub fn take_histogram(&mut self) -> StackDistanceHistogram {
+        std::mem::take(&mut self.hist)
+    }
+
+    /// One in `2^rate_log2` lines are tracked.
+    pub fn rate_log2(&self) -> u32 {
+        self.rate_log2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force stack distance for cross-checking.
+    fn brute_distances(trace: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (i, &a) in trace.iter().enumerate() {
+            let mut prev = None;
+            for j in (0..i).rev() {
+                if trace[j] == a {
+                    prev = Some(j);
+                    break;
+                }
+            }
+            match prev {
+                None => out.push(None),
+                Some(j) => {
+                    let mut distinct = std::collections::HashSet::new();
+                    for &b in &trace[j + 1..=i] {
+                        distinct.insert(b);
+                    }
+                    out.push(Some(distinct.len() as u64));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let trace = [1u64, 2, 3, 1, 2, 2, 4, 3, 1];
+        let mut s = MattsonStack::new();
+        let got: Vec<_> = trace.iter().map(|&a| s.access(a)).collect();
+        assert_eq!(got, brute_distances(&trace));
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        // Deterministic xorshift trace over a small address set.
+        let mut x = 0x1234_5678u64;
+        let mut trace = Vec::new();
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            trace.push(x % 23);
+        }
+        let mut s = MattsonStack::new();
+        let got: Vec<_> = trace.iter().map(|&a| s.access(a)).collect();
+        assert_eq!(got, brute_distances(&trace));
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // Long trace over few lines forces compaction; distances must stay
+        // correct afterwards.
+        let mut s = MattsonStack::new();
+        for i in 0..200_000u64 {
+            s.access(i % 8);
+        }
+        // Steady state: every access is distance 8.
+        assert_eq!(s.access(0), Some(8));
+        assert_eq!(s.distinct_lines(), 8);
+    }
+
+    #[test]
+    fn sequential_scan_is_all_cold_then_cyclic() {
+        let mut s = MattsonStack::new();
+        for i in 0..64u64 {
+            assert_eq!(s.access(i), None);
+        }
+        for i in 0..64u64 {
+            assert_eq!(s.access(i), Some(64));
+        }
+    }
+
+    #[test]
+    fn sampled_rate_zero_is_exact() {
+        let mut exact = MattsonStack::new();
+        let mut sampled = SampledStack::new(0);
+        for i in 0..100u64 {
+            exact.access(i % 10);
+            sampled.access(i % 10);
+        }
+        assert_eq!(exact.histogram(), sampled.histogram());
+    }
+
+    #[test]
+    fn sampled_total_is_close_to_exact() {
+        // With rate 1/4 over many uniformly-hashed lines, totals should be
+        // within a reasonable factor.
+        let mut sampled = SampledStack::new(2);
+        let n = 40_000u64;
+        for i in 0..n {
+            sampled.access(i.wrapping_mul(2654435761) % 4096);
+        }
+        let total = sampled.histogram().total();
+        assert!(
+            total > n / 2 && total < n * 2,
+            "scaled total {total} too far from {n}"
+        );
+    }
+
+    #[test]
+    fn take_histogram_resets_counts_not_stack() {
+        let mut s = MattsonStack::new();
+        s.access(1);
+        s.access(2);
+        let h = s.take_histogram();
+        assert_eq!(h.total(), 2);
+        assert_eq!(s.histogram().total(), 0);
+        // Stack survives: this is a hit at distance 2, not a cold miss.
+        assert_eq!(s.access(1), Some(2));
+    }
+}

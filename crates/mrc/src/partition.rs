@@ -1,0 +1,298 @@
+//! Convex-optimization capacity partitioning.
+//!
+//! Given per-pool cost curves (miss curves for WhirlTool, end-to-end latency
+//! curves for Jigsaw/Whirlpool), allocate a capacity budget across pools to
+//! minimize total cost. On convex curves, greedy marginal allocation (hill
+//! climbing) is optimal, which is why callers hull their curves first
+//! (Sec. 4.2); [`partition_capacity`] does the hulling internally.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::curve::MissCurve;
+use crate::hull::{convex_hull_points, hull_to_points};
+
+/// Result of partitioning a capacity budget across pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Granules allocated to each input curve (sums to the budget, unless
+    /// every curve saturated first).
+    pub allocations: Vec<usize>,
+    /// Total cost (sum over pools of their hulled curve at the allocation).
+    pub total_cost: f64,
+}
+
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    gain: f64,
+    idx: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Partitions `total_granules` across cost curves that are **already convex**
+/// (e.g. hull outputs), minimizing the summed cost.
+///
+/// Greedy: repeatedly give one granule to the pool with the largest marginal
+/// cost reduction. For convex curves this is globally optimal. Pools whose
+/// curves have flattened receive no further capacity, so not all of the
+/// budget is necessarily spent — exactly how Jigsaw leaves far-away banks
+/// unused when extra capacity does not pay for its latency (Fig. 4).
+pub fn partition_capacity_hulled(costs: &[Vec<f64>], total_granules: usize) -> PartitionOutcome {
+    let n = costs.len();
+    let mut alloc = vec![0usize; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    let gain_at = |curve: &[f64], a: usize| -> f64 {
+        if a + 1 < curve.len() {
+            curve[a] - curve[a + 1]
+        } else {
+            0.0
+        }
+    };
+    for (i, c) in costs.iter().enumerate() {
+        if c.is_empty() {
+            continue;
+        }
+        let g = gain_at(c, 0);
+        if g > 1e-12 {
+            heap.push(Candidate { gain: g, idx: i });
+        }
+    }
+    let mut remaining = total_granules;
+    while remaining > 0 {
+        let Some(cand) = heap.pop() else { break };
+        let i = cand.idx;
+        // Stale-entry check: recompute the gain at the current allocation.
+        let cur = gain_at(&costs[i], alloc[i]);
+        if (cur - cand.gain).abs() > 1e-12 {
+            if cur > 1e-12 {
+                heap.push(Candidate { gain: cur, idx: i });
+            }
+            continue;
+        }
+        alloc[i] += 1;
+        remaining -= 1;
+        let next = gain_at(&costs[i], alloc[i]);
+        if next > 1e-12 {
+            heap.push(Candidate { gain: next, idx: i });
+        }
+    }
+    let total_cost = costs
+        .iter()
+        .zip(&alloc)
+        .map(|(c, &a)| {
+            if c.is_empty() {
+                0.0
+            } else {
+                c[a.min(c.len() - 1)]
+            }
+        })
+        .sum();
+    PartitionOutcome {
+        allocations: alloc,
+        total_cost,
+    }
+}
+
+/// Partitions capacity across miss curves, hulling them first.
+///
+/// This is the WhirlTool analyzer's inner operation and the reference
+/// behaviour for Jigsaw's sizing step (which uses latency curves through
+/// the same machinery).
+pub fn partition_capacity(curves: &[MissCurve], total_granules: usize) -> PartitionOutcome {
+    let hulled: Vec<Vec<f64>> = curves
+        .iter()
+        .map(|c| {
+            let h = convex_hull_points(c.points());
+            hull_to_points(&h, c.len())
+        })
+        .collect();
+    partition_capacity_hulled(&hulled, total_granules)
+}
+
+/// The *partitioned miss curve* of two pools: at every total capacity `s`,
+/// the summed MPKI under the best split of `s` between the two pools.
+///
+/// Computed in a single greedy pass over the hulls (the paper's "partition
+/// the full capacity in a single pass using convex optimization"). Always
+/// pointwise ≤ the Appendix-B combined curve at the same size: partitioning
+/// favours whichever pool uses the capacity best, while sharing lets pools
+/// interfere. WhirlTool's clustering distance is the area between the two.
+pub fn partitioned_curve(a: &MissCurve, b: &MissCurve) -> MissCurve {
+    assert_eq!(a.granule_lines(), b.granule_lines());
+    let ha = hull_to_points(&convex_hull_points(a.points()), a.len());
+    let hb = hull_to_points(&convex_hull_points(b.points()), b.len());
+    let n = a.len() + b.len() - 1;
+    let mut out = Vec::with_capacity(n);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let val = |h: &[f64], i: usize| h[i.min(h.len() - 1)];
+    let gain = |h: &[f64], i: usize| {
+        if i + 1 < h.len() {
+            h[i] - h[i + 1]
+        } else {
+            0.0
+        }
+    };
+    out.push(val(&ha, 0) + val(&hb, 0));
+    for _ in 1..n {
+        if gain(&ha, ia) >= gain(&hb, ib) {
+            ia += 1;
+        } else {
+            ib += 1;
+        }
+        out.push(val(&ha, ia) + val(&hb, ib));
+    }
+    MissCurve::new(out, a.granule_lines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::combine_miss_curves;
+
+    fn geometric(apki: f64, ratio: f64, n: usize) -> MissCurve {
+        let pts = (0..n).map(|i| apki * ratio.powi(i as i32)).collect();
+        MissCurve::new(pts, 4)
+    }
+
+    /// Exhaustive optimal split of `total` between two curves.
+    fn brute_best(a: &MissCurve, b: &MissCurve, total: usize) -> f64 {
+        let ha = crate::convex_hull(a);
+        let hb = crate::convex_hull(b);
+        (0..=total)
+            .map(|x| ha.mpki_at(x) + hb.mpki_at(total - x))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_two_pools() {
+        let a = geometric(20.0, 0.5, 10);
+        let b = geometric(12.0, 0.8, 14);
+        for total in [0usize, 1, 3, 7, 12, 20] {
+            let out = partition_capacity(&[a.clone(), b.clone()], total);
+            let brute = brute_best(&a, &b, total);
+            assert!(
+                (out.total_cost - brute).abs() < 1e-9,
+                "total {total}: greedy {} vs brute {brute}",
+                out.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_three_pools() {
+        let a = geometric(10.0, 0.4, 8);
+        let b = geometric(10.0, 0.7, 8);
+        let c = geometric(4.0, 0.9, 8);
+        let total = 10;
+        let out = partition_capacity(&[a.clone(), b.clone(), c.clone()], total);
+        // Brute force over two nested splits.
+        let (ha, hb, hc) = (
+            crate::convex_hull(&a),
+            crate::convex_hull(&b),
+            crate::convex_hull(&c),
+        );
+        let mut best = f64::INFINITY;
+        for x in 0..=total {
+            for y in 0..=(total - x) {
+                let v = ha.mpki_at(x) + hb.mpki_at(y) + hc.mpki_at(total - x - y);
+                best = best.min(v);
+            }
+        }
+        assert!((out.total_cost - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocations_respect_budget() {
+        let a = geometric(10.0, 0.6, 30);
+        let b = geometric(10.0, 0.6, 30);
+        let out = partition_capacity(&[a, b], 13);
+        assert!(out.allocations.iter().sum::<usize>() <= 13);
+    }
+
+    #[test]
+    fn saturated_curves_leave_budget_unused() {
+        // Both curves flatten after 3 granules: no point allocating more.
+        let a = MissCurve::new(vec![9.0, 4.0, 1.0, 0.5, 0.5, 0.5], 4);
+        let b = MissCurve::new(vec![5.0, 2.0, 1.0, 1.0, 1.0], 4);
+        let out = partition_capacity(&[a, b], 100);
+        assert!(out.allocations.iter().sum::<usize>() <= 6);
+    }
+
+    #[test]
+    fn streaming_pool_gets_nothing() {
+        let friendly = geometric(10.0, 0.3, 10);
+        let streaming = MissCurve::flat(40.0, 10, 4);
+        let out = partition_capacity(&[friendly, streaming], 8);
+        assert_eq!(out.allocations[1], 0, "streaming pool must get no capacity");
+        assert!(out.allocations[0] > 0);
+    }
+
+    #[test]
+    fn partitioned_below_combined() {
+        // The defining inequality of WhirlTool's distance metric (Fig. 15).
+        let a = geometric(20.0, 0.5, 10);
+        let b = MissCurve::flat(25.0, 10, 4); // antagonist: streams
+        let comb = combine_miss_curves(&a, &b);
+        let part = partitioned_curve(&a, &b);
+        for s in 0..part.len().min(comb.len()) {
+            assert!(
+                part.mpki_at(s) <= comb.mpki_at(s) + 1e-6,
+                "partitioned above combined at {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn similar_pools_have_small_gap() {
+        // Fig. 15 left: two cache-friendly pools — combining is nearly free.
+        let a = geometric(10.0, 0.5, 12);
+        let b = geometric(10.0, 0.55, 12);
+        let comb = combine_miss_curves(&a, &b);
+        let part = partitioned_curve(&a, &b);
+        let n = part.len().min(comb.len());
+        let gap: f64 = (0..n)
+            .map(|s| (comb.mpki_at(s) - part.mpki_at(s)).max(0.0))
+            .sum();
+        // Antagonistic pairing for contrast.
+        let stream = MissCurve::flat(10.0, 12, 4);
+        let comb2 = combine_miss_curves(&a, &stream);
+        let part2 = partitioned_curve(&a, &stream);
+        let gap2: f64 = (0..n)
+            .map(|s| (comb2.mpki_at(s) - part2.mpki_at(s)).max(0.0))
+            .sum();
+        assert!(
+            gap < gap2,
+            "similar pools ({gap}) should be closer than antagonistic ({gap2})"
+        );
+    }
+
+    #[test]
+    fn partitioned_curve_is_monotone() {
+        let a = geometric(15.0, 0.6, 9);
+        let b = geometric(3.0, 0.9, 20);
+        assert!(partitioned_curve(&a, &b).is_monotone());
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let a = geometric(5.0, 0.5, 5);
+        let out = partition_capacity(&[a], 0);
+        assert_eq!(out.allocations, vec![0]);
+    }
+}

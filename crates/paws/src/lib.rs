@@ -1,0 +1,383 @@
+//! Task-parallel runtime models: conventional work-stealing and PaWS
+//! (partitioned work-stealing, Sec. 3.4).
+//!
+//! Work-stealing keeps queues of ready tasks per thread and steals from a
+//! *random* victim when idle — great load balance, poor locality: over
+//! time every core touches data of many tasks. PaWS makes two changes
+//! (Fig. 12): tasks are enqueued at the core owning their input partition,
+//! and idle cores steal from *nearby* cores first. With Whirlpool, each
+//! partition is additionally a memory pool, so even stolen work's data
+//! stays placed near its home core.
+//!
+//! [`schedule`] simulates the task scheduler over logical (instruction)
+//! time and returns who ran what; [`core_workloads`] turns a schedule into
+//! per-core LLC traces for [`wp_sim::MultiCoreSim`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wp_sim::{PoolDescriptor, TraceEvent, Workload, WorkloadBundle};
+use wp_workloads::parallel::{ParallelApp, Task};
+
+/// Scheduling policy: conventional work-stealing or PaWS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Tasks enqueue wherever their parent ran; idle cores steal from
+    /// random victims (Blumofe & Leiserson).
+    WorkStealing,
+    /// Tasks enqueue at their data's home core; idle cores steal from the
+    /// nearest cores first (PaWS).
+    Paws,
+}
+
+/// One task execution in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execution {
+    /// The task.
+    pub task: Task,
+    /// The core that ran it.
+    pub core: usize,
+    /// Logical start time (instructions on that core).
+    pub start: u64,
+}
+
+/// A complete schedule of an app's tasks.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Executions in global issue order.
+    pub executions: Vec<Execution>,
+    /// Number of cores.
+    pub cores: usize,
+    /// Number of steals performed.
+    pub steals: u64,
+    /// Per-core finish times (instructions).
+    pub finish_times: Vec<u64>,
+}
+
+impl Schedule {
+    /// Fraction of tasks that ran on their home core — the locality PaWS
+    /// buys (1.0 = perfect affinity).
+    pub fn home_fraction(&self) -> f64 {
+        if self.executions.is_empty() {
+            return 1.0;
+        }
+        let home = self
+            .executions
+            .iter()
+            .filter(|e| e.core == e.task.home)
+            .count();
+        home as f64 / self.executions.len() as f64
+    }
+
+    /// Makespan in instructions (max core finish time).
+    pub fn makespan(&self) -> u64 {
+        self.finish_times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Executions of one core, in order.
+    pub fn of_core(&self, core: usize) -> Vec<Task> {
+        self.executions
+            .iter()
+            .filter(|e| e.core == core)
+            .map(|e| e.task)
+            .collect()
+    }
+}
+
+/// Simulates the scheduler over the app's rounds (rounds are barriers).
+///
+/// Within a round: the least-loaded core repeatedly takes work from its own
+/// queue, stealing per policy when empty. Task durations carry the app's
+/// load-imbalance jitter, so stealing genuinely happens — the reason
+/// "work-stealing still causes a large fraction of the data to be accessed
+/// from multiple cores" even under PaWS.
+pub fn schedule(app: &ParallelApp, cores: usize, policy: SchedPolicy, seed: u64) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut time = vec![0u64; cores];
+    let mut executions = Vec::new();
+    let mut steals = 0u64;
+    let all_tasks = app.tasks();
+    let rounds = all_tasks.iter().map(|t| t.round).max().map_or(0, |r| r + 1);
+    // Where each (home, index) chain last executed (WS enqueue locality).
+    let mut parent_core = vec![0usize; cores * 64];
+    for round in 0..rounds {
+        let mut queues: Vec<VecDeque<Task>> = vec![VecDeque::new(); cores];
+        for t in all_tasks.iter().filter(|t| t.round == round) {
+            let q = match policy {
+                SchedPolicy::Paws => t.home % cores,
+                SchedPolicy::WorkStealing => {
+                    // Enqueue at the parent's last core (round 0: core 0,
+                    // the spawner).
+                    if round == 0 {
+                        0
+                    } else {
+                        parent_core[(t.home * 64 + t.index) % parent_core.len()]
+                    }
+                }
+            };
+            queues[q].push_back(*t);
+        }
+        loop {
+            let remaining: usize = queues.iter().map(|q| q.len()).sum();
+            if remaining == 0 {
+                break;
+            }
+            // The earliest-finishing core picks up work next.
+            let c = (0..cores)
+                .min_by_key(|&c| time[c])
+                .expect("at least one core");
+            let task = if let Some(t) = queues[c].pop_front() {
+                t
+            } else {
+                // Steal.
+                let victim = match policy {
+                    SchedPolicy::WorkStealing => {
+                        // Random victims until one has work.
+                        let mut v = None;
+                        for _ in 0..4 * cores {
+                            let cand = rng.gen_range(0..cores);
+                            if cand != c && !queues[cand].is_empty() {
+                                v = Some(cand);
+                                break;
+                            }
+                        }
+                        v.or_else(|| (0..cores).find(|&v| !queues[v].is_empty()))
+                    }
+                    SchedPolicy::Paws => {
+                        // Nearest first (ring distance over core ids
+                        // approximates mesh neighbourhood).
+                        (1..cores)
+                            .flat_map(|d| [(c + d) % cores, (c + cores - d % cores) % cores])
+                            .find(|&v| !queues[v].is_empty())
+                    }
+                };
+                match victim {
+                    Some(v) => {
+                        steals += 1;
+                        // Steal from the back (cold end), as work-stealing
+                        // deques do.
+                        queues[v].pop_back().expect("victim has work")
+                    }
+                    None => break,
+                }
+            };
+            let dur = app.task_instrs(task);
+            executions.push(Execution {
+                task,
+                core: c,
+                start: time[c],
+            });
+            time[c] += dur;
+            parent_core[(task.home * 64 + task.index) % (cores * 64)] = c;
+        }
+        // Round barrier.
+        let bar = *time.iter().max().expect("cores > 0");
+        for t in &mut time {
+            *t = bar;
+        }
+    }
+    Schedule {
+        executions,
+        cores,
+        steals,
+        finish_times: time,
+    }
+}
+
+/// A per-core workload that lazily replays its scheduled tasks' events.
+pub struct CoreTaskTrace {
+    app: Arc<ParallelApp>,
+    tasks: Vec<Task>,
+    core: usize,
+    next_task: usize,
+    buffer: VecDeque<TraceEvent>,
+}
+
+impl std::fmt::Debug for CoreTaskTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreTaskTrace")
+            .field("core", &self.core)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl Workload for CoreTaskTrace {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        loop {
+            if let Some(ev) = self.buffer.pop_front() {
+                return Some(ev);
+            }
+            if self.next_task >= self.tasks.len() {
+                return None;
+            }
+            let t = self.tasks[self.next_task];
+            self.next_task += 1;
+            self.buffer = self.app.task_events(t, self.core).into();
+        }
+    }
+}
+
+/// Classification handed to the LLC scheme for parallel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelClassification {
+    /// No pools: S-NUCA, Jigsaw, IdealSPD, Awasthi.
+    None,
+    /// One pool per partition, registered at its home core (Whirlpool).
+    PerPartition,
+}
+
+/// Builds per-core workload bundles from a schedule.
+///
+/// With [`ParallelClassification::PerPartition`], core `c`'s bundle carries
+/// partition `c`'s pool descriptor — "we simply map data from each
+/// partition to a separate pool" (Sec. 3.4).
+pub fn core_workloads(
+    app: &Arc<ParallelApp>,
+    sched: &Schedule,
+    classification: ParallelClassification,
+) -> Vec<WorkloadBundle> {
+    (0..sched.cores)
+        .map(|c| {
+            let pools: Vec<PoolDescriptor> = match classification {
+                ParallelClassification::None => Vec::new(),
+                ParallelClassification::PerPartition => vec![app.descriptor_of(c)],
+            };
+            WorkloadBundle {
+                trace: Box::new(CoreTaskTrace {
+                    app: Arc::clone(app),
+                    tasks: sched.of_core(c),
+                    core: c,
+                    next_task: 0,
+                    buffer: VecDeque::new(),
+                }),
+                pools,
+                name: format!("{}.core{c}", app.spec().name),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_workloads::parallel::{ParallelSpec, RemoteKind};
+    use wp_workloads::Pattern;
+
+    fn app(cores: usize) -> Arc<ParallelApp> {
+        Arc::new(ParallelApp::new(ParallelSpec {
+            name: "toy",
+            partitions: cores,
+            bytes_per_partition: 256 * 1024,
+            pattern: Pattern::Uniform,
+            rounds: 3,
+            tasks_per_partition: 4,
+            instrs_per_task: 10_000,
+            accesses_per_task: 200,
+            remote_frac: 0.2,
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.5,
+            duration_jitter: 0.4,
+            seed: 5,
+        }))
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let a = app(4);
+        for policy in [SchedPolicy::WorkStealing, SchedPolicy::Paws] {
+            let s = schedule(&a, 4, policy, 1);
+            assert_eq!(s.executions.len(), a.tasks().len());
+            let mut seen = std::collections::HashSet::new();
+            for e in &s.executions {
+                assert!(seen.insert(e.task), "task ran twice under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paws_has_better_locality_than_ws() {
+        let a = app(8);
+        let ws = schedule(&a, 8, SchedPolicy::WorkStealing, 2);
+        let paws = schedule(&a, 8, SchedPolicy::Paws, 2);
+        assert!(
+            paws.home_fraction() > ws.home_fraction() + 0.2,
+            "PaWS {} vs WS {}",
+            paws.home_fraction(),
+            ws.home_fraction()
+        );
+        assert!(paws.home_fraction() > 0.6);
+    }
+
+    #[test]
+    fn stealing_happens_under_imbalance() {
+        let a = app(8);
+        let paws = schedule(&a, 8, SchedPolicy::Paws, 3);
+        assert!(paws.steals > 0, "jittered tasks must trigger steals");
+        assert!(paws.home_fraction() < 1.0);
+    }
+
+    #[test]
+    fn rounds_are_barriers() {
+        let a = app(4);
+        let s = schedule(&a, 4, SchedPolicy::Paws, 4);
+        // No round-1 execution may start before every round-0 task started
+        // + its duration on its core (coarse check: max start of round 0
+        // <= min start of round 2).
+        let max_r0_start = s
+            .executions
+            .iter()
+            .filter(|e| e.task.round == 0)
+            .map(|e| e.start)
+            .max()
+            .unwrap();
+        let min_r2_start = s
+            .executions
+            .iter()
+            .filter(|e| e.task.round == 2)
+            .map(|e| e.start)
+            .min()
+            .unwrap();
+        assert!(min_r2_start >= max_r0_start);
+    }
+
+    #[test]
+    fn core_workloads_cover_all_cores() {
+        let a = app(4);
+        let s = schedule(&a, 4, SchedPolicy::Paws, 5);
+        let bundles = core_workloads(&a, &s, ParallelClassification::PerPartition);
+        assert_eq!(bundles.len(), 4);
+        for (c, b) in bundles.iter().enumerate() {
+            assert_eq!(b.pools.len(), 1);
+            assert_eq!(b.pools[0].name, format!("part{c}"));
+        }
+    }
+
+    #[test]
+    fn traces_replay_scheduled_tasks() {
+        let a = app(2);
+        let s = schedule(&a, 2, SchedPolicy::Paws, 6);
+        let mut bundles = core_workloads(&a, &s, ParallelClassification::None);
+        let mut total = 0usize;
+        for b in &mut bundles {
+            while b.trace.next_event().is_some() {
+                total += 1;
+            }
+        }
+        // Total events ≈ per-task accesses × executions (± foreign
+        // penalty), all > 0.
+        assert!(total >= 200 * a.tasks().len());
+    }
+
+    #[test]
+    fn ws_makespan_not_worse_than_serial() {
+        let a = app(4);
+        let s = schedule(&a, 4, SchedPolicy::WorkStealing, 7);
+        let serial: u64 = a.tasks().iter().map(|&t| a.task_instrs(t)).sum();
+        assert!(s.makespan() < serial, "parallelism must help");
+    }
+}

@@ -1,0 +1,149 @@
+//! System configuration (Table 3).
+
+use wp_noc::Floorplan;
+
+use crate::energy::EnergyParams;
+
+/// Full system configuration, defaulting to the paper's Table 3.
+///
+/// Use [`SystemConfig::four_core`] / [`SystemConfig::sixteen_core`] for the
+/// two evaluated chips; fields are public for ablations.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Chip floorplan (cores, banks, MCUs on the mesh).
+    pub floorplan: Floorplan,
+    /// L1D capacity in bytes (32 KB).
+    pub l1_bytes: u64,
+    /// L1D associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles (4; folded into the base CPI for hits).
+    pub l1_latency: u64,
+    /// Private L2 capacity in bytes (128 KB).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles (6).
+    pub l2_latency: u64,
+    /// LLC bank capacity in bytes (512 KB).
+    pub bank_bytes: u64,
+    /// LLC bank access latency in cycles (9).
+    pub bank_latency: u64,
+    /// Zero-load memory latency in cycles (120).
+    pub mem_zero_load_latency: u64,
+    /// Memory bandwidth per channel, bytes per cycle (12.8 GB/s at 2 GHz =
+    /// 6.4 B/cycle).
+    pub mem_bytes_per_cycle: f64,
+    /// Core clock in GHz (2.0) — used only to convert the paper's 25 ms
+    /// reconfiguration interval into cycles.
+    pub freq_ghz: f64,
+    /// Non-memory CPI of the OOO core model.
+    pub base_cpi: f64,
+    /// Divisor applied to data stalls to model memory-level parallelism.
+    /// The paper's model ignores MLP (Sec. 2.4 footnote 1), i.e. 1.0.
+    pub mlp: f64,
+    /// Capacity-allocation granule in lines (1024 = 64 KB).
+    pub granule_lines: u64,
+    /// Cycles between LLC reconfigurations. The paper uses 25 ms = 50 M
+    /// cycles on 10 B-instruction runs; scaled-down runs scale this in
+    /// proportion (default 5 M).
+    pub reconfig_interval_cycles: u64,
+    /// Per-event energies.
+    pub energy: EnergyParams,
+}
+
+impl SystemConfig {
+    /// The 4-core, 5×5-bank chip of Fig. 1 (12.5 MB LLC, one MCU).
+    pub fn four_core() -> Self {
+        Self::with_floorplan(Floorplan::four_core())
+    }
+
+    /// The 16-core, 9×9-bank chip of Fig. 12 (40.5 MB LLC, four MCUs).
+    pub fn sixteen_core() -> Self {
+        Self::with_floorplan(Floorplan::sixteen_core())
+    }
+
+    /// Table-3 parameters on an arbitrary floorplan.
+    pub fn with_floorplan(floorplan: Floorplan) -> Self {
+        Self {
+            floorplan,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 4,
+            l2_bytes: 128 * 1024,
+            l2_ways: 8,
+            l2_latency: 6,
+            bank_bytes: 512 * 1024,
+            bank_latency: 9,
+            mem_zero_load_latency: 120,
+            mem_bytes_per_cycle: 6.4,
+            freq_ghz: 2.0,
+            base_cpi: 1.0,
+            mlp: 1.0,
+            granule_lines: 1024,
+            reconfig_interval_cycles: 5_000_000,
+            energy: EnergyParams::default(),
+        }
+    }
+
+    /// Lines per LLC bank.
+    pub fn lines_per_bank(&self) -> u64 {
+        self.bank_bytes / wp_mem::LINE_BYTES
+    }
+
+    /// Capacity granules per LLC bank.
+    pub fn granules_per_bank(&self) -> usize {
+        (self.lines_per_bank() / self.granule_lines) as usize
+    }
+
+    /// Total LLC granules across all banks.
+    pub fn total_granules(&self) -> usize {
+        self.granules_per_bank() * self.floorplan.num_banks()
+    }
+
+    /// Total LLC capacity in bytes.
+    pub fn llc_bytes(&self) -> u64 {
+        self.bank_bytes * self.floorplan.num_banks() as u64
+    }
+
+    /// Average LLC miss penalty estimate used by latency-curve construction:
+    /// zero-load memory latency plus the mean core→MCU round trip.
+    pub fn miss_penalty(&self) -> f64 {
+        let plan = &self.floorplan;
+        let mut hops = 0.0;
+        for c in 0..plan.num_cores() {
+            let core = wp_noc::CoreId(c as u16);
+            let mcu = plan.nearest_mcu(core);
+            hops += plan.hops_core_mcu(core, mcu) as f64;
+        }
+        hops /= plan.num_cores() as f64;
+        self.mem_zero_load_latency as f64 + plan.params().round_trip_latency(hops.round() as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_capacities() {
+        let c = SystemConfig::four_core();
+        assert_eq!(c.llc_bytes(), 25 * 512 * 1024); // 12.5 MB
+        assert_eq!(c.lines_per_bank(), 8192);
+        assert_eq!(c.granules_per_bank(), 8);
+        assert_eq!(c.total_granules(), 200);
+    }
+
+    #[test]
+    fn sixteen_core_capacities() {
+        let c = SystemConfig::sixteen_core();
+        assert_eq!(c.llc_bytes(), 81 * 512 * 1024); // 40.5 MB
+        assert_eq!(c.total_granules(), 648);
+    }
+
+    #[test]
+    fn miss_penalty_exceeds_dram_latency() {
+        let c = SystemConfig::four_core();
+        assert!(c.miss_penalty() >= 120.0);
+        assert!(c.miss_penalty() < 250.0);
+    }
+}

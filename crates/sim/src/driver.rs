@@ -1,0 +1,411 @@
+//! The simulation driver: interleaves per-core workloads over a shared
+//! uncore and a pluggable LLC scheme.
+//!
+//! Multi-program runs follow the paper's fixed-work methodology
+//! (Appendix A): all workloads run until every one of them has retired its
+//! instruction target; statistics only count each workload's first `N`
+//! instructions, but finished workloads keep executing (wrapping their
+//! traces) so late finishers still see contention.
+
+use wp_noc::CoreId;
+
+use crate::config::SystemConfig;
+use crate::scheme::{AccessContext, LlcOutcome, LlcScheme, Workload, WorkloadBundle};
+use crate::stats::CoreStats;
+use crate::uncore::Uncore;
+use crate::EnergyBreakdown;
+
+/// Events processed per scheduling quantum (per core, before the driver
+/// re-picks the laggard core).
+const QUANTUM_EVENTS: usize = 256;
+
+/// One core's execution state.
+pub struct CoreRunner {
+    trace: Box<dyn Workload>,
+    stats: CoreStats,
+    /// Measurement baseline (snapshot at the end of warmup).
+    baseline: CoreStats,
+    /// Stats frozen at the fixed-work boundary (delta vs baseline).
+    counted: Option<CoreStats>,
+    active: bool,
+}
+
+impl std::fmt::Debug for CoreRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreRunner")
+            .field("active", &self.active)
+            .field("instructions", &self.stats.instructions)
+            .finish()
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-core statistics (fixed-work window for multi-program runs).
+    pub cores: Vec<CoreStats>,
+    /// Uncore energy over the whole run.
+    pub energy: EnergyBreakdown,
+    /// Final global time in cycles.
+    pub cycles: u64,
+}
+
+impl RunSummary {
+    /// Sum of per-core instruction counts.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Uncore energy per kilo-instruction (nJ/KI) — the normalized
+    /// data-movement energy the paper's bar charts compare.
+    pub fn energy_per_ki(&self) -> f64 {
+        let ki = self.total_instructions() as f64 / 1000.0;
+        if ki == 0.0 {
+            0.0
+        } else {
+            self.energy.total_nj() / ki
+        }
+    }
+}
+
+/// The multicore simulator: cores + uncore + one LLC scheme.
+pub struct MultiCoreSim<S: LlcScheme> {
+    uncore: Uncore,
+    scheme: S,
+    runners: Vec<Option<CoreRunner>>,
+    last_reconfig: u64,
+}
+
+impl<S: LlcScheme> std::fmt::Debug for MultiCoreSim<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCoreSim")
+            .field("scheme", &self.scheme.name())
+            .finish()
+    }
+}
+
+impl<S: LlcScheme> MultiCoreSim<S> {
+    /// Creates a simulator for `config` managed by `scheme`.
+    pub fn new(config: SystemConfig, scheme: S) -> Self {
+        let cores = config.floorplan.num_cores();
+        Self {
+            uncore: Uncore::new(config),
+            scheme,
+            runners: (0..cores).map(|_| None).collect(),
+            last_reconfig: 0,
+        }
+    }
+
+    /// Attaches a workload to a core, registering its pools with the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range or already occupied.
+    pub fn attach(&mut self, core: CoreId, bundle: WorkloadBundle) {
+        let slot = &mut self.runners[core.0 as usize];
+        assert!(slot.is_none(), "core {core:?} already has a workload");
+        self.scheme.attach_core(core, &bundle.pools);
+        *slot = Some(CoreRunner {
+            trace: bundle.trace,
+            stats: CoreStats::default(),
+            baseline: CoreStats::default(),
+            counted: None,
+            active: true,
+        });
+    }
+
+    /// Immutable access to the scheme (for occupancy maps etc.).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Mutable access to the scheme (for tests and phase injection).
+    pub fn scheme_mut(&mut self) -> &mut S {
+        &mut self.scheme
+    }
+
+    /// The uncore (energy, time).
+    pub fn uncore(&self) -> &Uncore {
+        &self.uncore
+    }
+
+    /// Runs `warmup_instructions` per core without counting (the paper's
+    /// fast-forward: caches and monitors warm, statistics reset), then
+    /// measures `target_instructions` per core.
+    pub fn run_with_warmup(
+        &mut self,
+        warmup_instructions: u64,
+        target_instructions: u64,
+    ) -> RunSummary {
+        if warmup_instructions > 0 {
+            self.run(warmup_instructions);
+            for r in self.runners.iter_mut().flatten() {
+                if r.active {
+                    r.baseline = r.stats;
+                    r.counted = None;
+                }
+            }
+            self.uncore.reset_energy();
+        }
+        self.run(target_instructions)
+    }
+
+    /// Runs every attached workload for `target_instructions` (fixed-work).
+    /// Returns the per-core summaries.
+    pub fn run(&mut self, target_instructions: u64) -> RunSummary {
+        loop {
+            // Pick the attached, active core with the smallest cycle count
+            // that has not yet been counted out — the laggard.
+            let mut pick: Option<usize> = None;
+            for (i, r) in self.runners.iter().enumerate() {
+                if let Some(r) = r {
+                    if r.active && r.counted.is_none() {
+                        let better = match pick {
+                            None => true,
+                            Some(j) => {
+                                let rj = self.runners[j].as_ref().expect("picked exists");
+                                r.stats.cycles < rj.stats.cycles
+                            }
+                        };
+                        if better {
+                            pick = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(core_idx) = pick else { break };
+            self.step_core(core_idx, target_instructions);
+            // Fixed-work: cores past their target keep running (their
+            // stats are frozen) so laggards still see contention.
+            let laggard_cycles = self.runners[core_idx]
+                .as_ref()
+                .map(|r| r.stats.cycles)
+                .unwrap_or(0.0);
+            for i in 0..self.runners.len() {
+                if i == core_idx {
+                    continue;
+                }
+                let needs_catchup = self.runners[i].as_ref().is_some_and(|r| {
+                    r.active && r.counted.is_some() && r.stats.cycles < laggard_cycles
+                });
+                if needs_catchup {
+                    self.step_core(i, target_instructions);
+                }
+            }
+            self.maybe_reconfigure();
+        }
+        self.summary()
+    }
+
+    fn step_core(&mut self, core_idx: usize, target: u64) {
+        let core = CoreId(core_idx as u16);
+        let config = self.uncore.config().clone();
+        for _ in 0..QUANTUM_EVENTS {
+            let runner = self.runners[core_idx].as_mut().expect("runner exists");
+            let Some(ev) = runner.trace.next_event() else {
+                runner.active = false;
+                if runner.counted.is_none() {
+                    runner.counted = Some(runner.stats.delta(&runner.baseline));
+                }
+                return;
+            };
+            runner.stats.instructions += ev.gap_instrs as u64;
+            runner.stats.cycles += ev.gap_instrs as f64 * config.base_cpi;
+            self.uncore.interval_instructions[core_idx] += ev.gap_instrs as u64;
+            // The event stream is L2-filtered: go straight to the scheme.
+            let ctx = AccessContext {
+                core,
+                line: ev.line,
+                is_write: ev.is_write,
+            };
+            // Time for memory queueing: the requesting core's local clock.
+            let runner_cycles = runner.stats.cycles as u64;
+            self.uncore.now = self.uncore.now.max(runner_cycles);
+            let resp = self.scheme.access(ctx, &mut self.uncore);
+            let runner = self.runners[core_idx].as_mut().expect("runner exists");
+            let stall = resp.latency / config.mlp;
+            runner.stats.cycles += stall;
+            runner.stats.stall_cycles += stall;
+            runner.stats.llc_accesses += 1;
+            match resp.outcome {
+                LlcOutcome::Hit => runner.stats.llc_hits += 1,
+                LlcOutcome::Miss => runner.stats.llc_misses += 1,
+                LlcOutcome::Bypass => {
+                    runner.stats.llc_bypasses += 1;
+                    // A bypass never performed an LLC access.
+                    runner.stats.llc_accesses -= 1;
+                }
+            }
+            let measured = runner.stats.instructions - runner.baseline.instructions;
+            if runner.counted.is_none() && measured >= target {
+                runner.counted = Some(runner.stats.delta(&runner.baseline));
+            }
+        }
+    }
+
+    fn maybe_reconfigure(&mut self) {
+        let interval = self.uncore.config().reconfig_interval_cycles;
+        // Global time: the laggard's clock (monotone, never outruns work).
+        let global = self
+            .runners
+            .iter()
+            .flatten()
+            .filter(|r| r.active && r.counted.is_none())
+            .map(|r| r.stats.cycles as u64)
+            .min()
+            .unwrap_or(self.uncore.now);
+        if global >= self.last_reconfig + interval {
+            self.last_reconfig = global;
+            self.uncore.now = self.uncore.now.max(global);
+            self.scheme.reconfigure(&mut self.uncore);
+            for n in &mut self.uncore.interval_instructions {
+                *n = 0;
+            }
+        }
+    }
+
+    fn summary(&self) -> RunSummary {
+        let cores = self
+            .runners
+            .iter()
+            .map(|r| match r {
+                Some(r) => r.counted.unwrap_or_else(|| r.stats.delta(&r.baseline)),
+                None => CoreStats::default(),
+            })
+            .collect();
+        RunSummary {
+            scheme: self.scheme.name(),
+            cores,
+            energy: self.uncore.energy(),
+            cycles: self.uncore.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{LlcResponse, PoolDescriptor, TraceEvent};
+    use wp_mem::LineAddr;
+
+    /// A trivial scheme: everything hits in the core's nearest bank.
+    #[derive(Debug, Default)]
+    struct NearestHit {
+        reconfigs: usize,
+    }
+
+    impl LlcScheme for NearestHit {
+        fn name(&self) -> String {
+            "nearest-hit".into()
+        }
+
+        fn attach_core(&mut self, _core: CoreId, _pools: &[PoolDescriptor]) {}
+
+        fn access(&mut self, ctx: AccessContext, uncore: &mut Uncore) -> LlcResponse {
+            let bank = uncore.plan().banks_by_distance(ctx.core)[0];
+            let latency = uncore.bank_hit(ctx.core, bank);
+            LlcResponse {
+                latency,
+                outcome: LlcOutcome::Hit,
+            }
+        }
+
+        fn reconfigure(&mut self, _uncore: &mut Uncore) {
+            self.reconfigs += 1;
+        }
+    }
+
+    fn stream(n: u64) -> WorkloadBundle {
+        let mut i = 0u64;
+        WorkloadBundle {
+            trace: Box::new(move || {
+                if i < n {
+                    i += 1;
+                    Some(TraceEvent {
+                        gap_instrs: 100,
+                        line: LineAddr(i),
+                        is_write: false,
+                    })
+                } else {
+                    None
+                }
+            }),
+            pools: vec![],
+            name: "stream".into(),
+        }
+    }
+
+    #[test]
+    fn single_core_run_counts_instructions() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        sim.attach(CoreId(0), stream(1000));
+        let out = sim.run(50_000);
+        assert_eq!(out.cores[0].instructions, 50_000);
+        assert_eq!(out.cores[0].llc_accesses, 500);
+        assert_eq!(out.cores[0].llc_hits, 500);
+        assert!(out.cores[0].cycles > 50_000.0); // base CPI + stalls
+        assert!(out.energy.bank_nj > 0.0);
+    }
+
+    #[test]
+    fn fixed_work_freezes_stats_at_target() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        sim.attach(CoreId(0), stream(10_000));
+        let out = sim.run(10_000);
+        // Target 10k instructions = 100 events.
+        assert_eq!(out.cores[0].instructions, 10_000);
+        assert_eq!(out.cores[0].llc_accesses, 100);
+    }
+
+    #[test]
+    fn multicore_runs_all_cores() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        for c in 0..4 {
+            sim.attach(CoreId(c), stream(1000));
+        }
+        let out = sim.run(20_000);
+        for c in 0..4 {
+            assert_eq!(out.cores[c].instructions, 20_000);
+        }
+    }
+
+    #[test]
+    fn reconfigure_fires_periodically() {
+        let mut config = SystemConfig::four_core();
+        config.reconfig_interval_cycles = 10_000;
+        let mut sim = MultiCoreSim::new(config, NearestHit::default());
+        sim.attach(CoreId(0), stream(100_000));
+        sim.run(1_000_000);
+        assert!(
+            sim.scheme().reconfigs >= 5,
+            "expected several reconfigs, got {}",
+            sim.scheme().reconfigs
+        );
+    }
+
+    #[test]
+    fn exhausted_trace_stops_cleanly() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        sim.attach(CoreId(0), stream(10));
+        let out = sim.run(1_000_000_000);
+        assert_eq!(out.cores[0].instructions, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a workload")]
+    fn double_attach_panics() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        sim.attach(CoreId(0), stream(1));
+        sim.attach(CoreId(0), stream(1));
+    }
+
+    #[test]
+    fn energy_per_ki_normalizes() {
+        let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
+        sim.attach(CoreId(0), stream(1000));
+        let out = sim.run(100_000);
+        assert!(out.energy_per_ki() > 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Private per-core cache hierarchy (L1D + L2).
+//!
+//! Application models in this reproduction emit L2-filtered streams (see
+//! [`crate::TraceEvent`]), so the private hierarchy is not on their access
+//! path; it exists for raw-trace workloads, for tests, and as the building
+//! block of IdealSPD's private L3.
+
+use wp_cache::{AccessOutcome, LruPolicy, SetAssocCache};
+use wp_mem::LineAddr;
+
+use crate::config::SystemConfig;
+
+/// Which level served a private-hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivateLookup {
+    /// L1 hit (latency folded into base CPI).
+    L1Hit,
+    /// L2 hit.
+    L2Hit,
+    /// Missed both: the access proceeds to the LLC scheme.
+    LlcBound,
+}
+
+/// One core's private L1D + inclusive L2.
+#[derive(Debug)]
+pub struct PrivateHierarchy {
+    l1: SetAssocCache<LruPolicy>,
+    l2: SetAssocCache<LruPolicy>,
+    l2_latency: u64,
+}
+
+impl PrivateHierarchy {
+    /// Builds the hierarchy from the system configuration.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self {
+            l1: SetAssocCache::with_capacity_bytes(config.l1_bytes, config.l1_ways, LruPolicy::new()),
+            l2: SetAssocCache::with_capacity_bytes(config.l2_bytes, config.l2_ways, LruPolicy::new()),
+            l2_latency: config.l2_latency,
+        }
+    }
+
+    /// Looks up `line`, filling on miss (L2 is inclusive of L1: an L2
+    /// eviction back-invalidates L1).
+    pub fn access(&mut self, line: LineAddr) -> PrivateLookup {
+        if matches!(self.l1.access(line.0), AccessOutcome::Hit) {
+            return PrivateLookup::L1Hit;
+        }
+        match self.l2.access(line.0) {
+            AccessOutcome::Hit => PrivateLookup::L2Hit,
+            AccessOutcome::Miss { evicted } => {
+                if let Some(victim) = evicted {
+                    // Inclusion: L1 cannot keep a line L2 lost.
+                    self.l1.invalidate(victim);
+                }
+                PrivateLookup::LlcBound
+            }
+        }
+    }
+
+    /// L2 hit latency in cycles.
+    pub fn l2_latency(&self) -> u64 {
+        self.l2_latency
+    }
+
+    /// Invalidates a line from both levels (coherence, VC mode switches).
+    pub fn invalidate(&mut self, line: LineAddr) {
+        self.l1.invalidate(line.0);
+        self.l2.invalidate(line.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> PrivateHierarchy {
+        PrivateHierarchy::new(&SystemConfig::four_core())
+    }
+
+    #[test]
+    fn first_touch_goes_to_llc() {
+        let mut h = hierarchy();
+        assert_eq!(h.access(LineAddr(1)), PrivateLookup::LlcBound);
+        assert_eq!(h.access(LineAddr(1)), PrivateLookup::L1Hit);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut h = hierarchy();
+        // Touch more lines than L1 holds (512) but fewer than L2 (2048).
+        for i in 0..1024u64 {
+            h.access(LineAddr(i));
+        }
+        // Line 0 fell out of L1 but should still be in L2.
+        let r = h.access(LineAddr(0));
+        assert!(
+            matches!(r, PrivateLookup::L2Hit | PrivateLookup::L1Hit),
+            "expected L2 hit, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn inclusion_is_maintained() {
+        let mut h = hierarchy();
+        // Blow out L2 entirely; early lines must be gone from L1 too.
+        for i in 0..10_000u64 {
+            h.access(LineAddr(i));
+        }
+        assert_eq!(h.access(LineAddr(0)), PrivateLookup::LlcBound);
+    }
+
+    #[test]
+    fn invalidate_removes_from_both() {
+        let mut h = hierarchy();
+        h.access(LineAddr(42));
+        h.invalidate(LineAddr(42));
+        assert_eq!(h.access(LineAddr(42)), PrivateLookup::LlcBound);
+    }
+}

@@ -1,0 +1,188 @@
+//! The pluggable LLC interface and workload types.
+
+use wp_mem::{LineAddr, PageId, PoolId};
+use wp_noc::CoreId;
+
+use crate::uncore::Uncore;
+
+/// One event of a workload's LLC-bound access stream.
+///
+/// The reproduction's application models emit *L2-filtered* streams: each
+/// event is an access that missed the private caches, with `gap_instrs`
+/// instructions retired since the previous event. This matches the paper's
+/// level of abstraction (per-pool APKI at the LLC) and the >5 L2 MPKI
+/// selection criterion of Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Instructions executed since the previous event.
+    pub gap_instrs: u32,
+    /// The line accessed.
+    pub line: LineAddr,
+    /// Whether the access is a write.
+    pub is_write: bool,
+}
+
+/// A workload: an infinite (or finite) LLC-bound access stream.
+pub trait Workload {
+    /// The next event, or `None` when the workload has finished.
+    fn next_event(&mut self) -> Option<TraceEvent>;
+}
+
+impl<F: FnMut() -> Option<TraceEvent>> Workload for F {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        self()
+    }
+}
+
+/// Static description of one memory pool of a workload, for schemes that
+/// consume classification (Whirlpool) and for reporting.
+#[derive(Debug, Clone)]
+pub struct PoolDescriptor {
+    /// Human-readable name ("points", "vertices", …).
+    pub name: String,
+    /// Allocator pool id, if the data was pool-allocated.
+    pub pool: Option<PoolId>,
+    /// Pages belonging to the pool.
+    pub pages: Vec<PageId>,
+    /// Footprint in bytes.
+    pub bytes: u64,
+}
+
+/// A workload plus its static classification, as handed to the simulator.
+pub struct WorkloadBundle {
+    /// The access stream.
+    pub trace: Box<dyn Workload>,
+    /// The workload's memory pools. Schemes that ignore classification
+    /// (everything except Whirlpool) simply disregard these.
+    pub pools: Vec<PoolDescriptor>,
+    /// Workload name for reports.
+    pub name: String,
+}
+
+impl std::fmt::Debug for WorkloadBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadBundle")
+            .field("name", &self.name)
+            .field("pools", &self.pools.len())
+            .finish()
+    }
+}
+
+/// Where an LLC access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcOutcome {
+    /// Served by an LLC bank.
+    Hit,
+    /// Missed; served by memory through a bank.
+    Miss,
+    /// Never looked up the LLC: went straight to memory (bypass VC).
+    Bypass,
+}
+
+/// The scheme's answer to one access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlcResponse {
+    /// Cycles of data stall this access contributes (beyond the private
+    /// caches).
+    pub latency: f64,
+    /// How it was served.
+    pub outcome: LlcOutcome,
+}
+
+/// A last-level cache management scheme.
+///
+/// Implementations receive every LLC-bound access, charge latency/energy
+/// through the [`Uncore`] helpers (so accounting is identical across
+/// schemes), and may reorganize themselves at reconfiguration boundaries.
+pub trait LlcScheme {
+    /// Scheme name for reports ("S-NUCA (LRU)", "Jigsaw", "Whirlpool", …).
+    fn name(&self) -> String;
+
+    /// Called once per core before simulation with the core's workload
+    /// classification. Schemes that use static information (Whirlpool)
+    /// build per-pool VCs here; others ignore it.
+    fn attach_core(&mut self, core: CoreId, pools: &[PoolDescriptor]);
+
+    /// Serves one LLC-bound access.
+    fn access(&mut self, ctx: AccessContext, uncore: &mut Uncore) -> LlcResponse;
+
+    /// Called at every reconfiguration interval (25 ms in the paper).
+    /// Dynamic schemes re-size/re-place here; static ones do nothing.
+    fn reconfigure(&mut self, uncore: &mut Uncore);
+
+    /// Optional: per-bank occupancy fractions by logical owner, for the
+    /// placement maps of Figs. 3–5. Keyed by `(bank index, owner label,
+    /// fraction of bank)`. Default: unknown.
+    fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
+        Vec::new()
+    }
+}
+
+impl LlcScheme for Box<dyn LlcScheme> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn attach_core(&mut self, core: CoreId, pools: &[PoolDescriptor]) {
+        self.as_mut().attach_core(core, pools);
+    }
+
+    fn access(&mut self, ctx: AccessContext, uncore: &mut Uncore) -> LlcResponse {
+        self.as_mut().access(ctx, uncore)
+    }
+
+    fn reconfigure(&mut self, uncore: &mut Uncore) {
+        self.as_mut().reconfigure(uncore);
+    }
+
+    fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
+        self.as_ref().bank_occupancy()
+    }
+}
+
+/// Context for one LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessContext {
+    /// The requesting core.
+    pub core: CoreId,
+    /// The line accessed.
+    pub line: LineAddr,
+    /// Whether the access is a write.
+    pub is_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_workload() {
+        let mut n = 0u64;
+        let mut w = move || {
+            n += 1;
+            if n <= 2 {
+                Some(TraceEvent {
+                    gap_instrs: 10,
+                    line: LineAddr(n),
+                    is_write: false,
+                })
+            } else {
+                None
+            }
+        };
+        assert!(w.next_event().is_some());
+        assert!(w.next_event().is_some());
+        assert!(w.next_event().is_none());
+    }
+
+    #[test]
+    fn bundle_debug_is_compact() {
+        let b = WorkloadBundle {
+            trace: Box::new(|| None),
+            pools: vec![],
+            name: "dt".into(),
+        };
+        let s = format!("{b:?}");
+        assert!(s.contains("dt"));
+    }
+}

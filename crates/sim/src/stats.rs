@@ -1,0 +1,114 @@
+//! Per-core execution statistics.
+
+/// Counters for one core's execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed (base CPI + data stalls).
+    pub cycles: f64,
+    /// L1 hits (only populated when the private hierarchy is simulated).
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Accesses that reached the LLC scheme.
+    pub llc_accesses: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses (served by memory through a bank).
+    pub llc_misses: u64,
+    /// Accesses that bypassed the LLC entirely (Whirlpool bypass VCs).
+    pub llc_bypasses: u64,
+    /// Cycles stalled on data (after MLP division).
+    pub stall_cycles: f64,
+}
+
+impl CoreStats {
+    /// Counter-wise difference `self − base` (measurement windows are
+    /// deltas against a warmup baseline).
+    pub fn delta(&self, base: &CoreStats) -> CoreStats {
+        CoreStats {
+            instructions: self.instructions - base.instructions,
+            cycles: self.cycles - base.cycles,
+            l1_hits: self.l1_hits - base.l1_hits,
+            l2_hits: self.l2_hits - base.l2_hits,
+            llc_accesses: self.llc_accesses - base.llc_accesses,
+            llc_hits: self.llc_hits - base.llc_hits,
+            llc_misses: self.llc_misses - base.llc_misses,
+            llc_bypasses: self.llc_bypasses - base.llc_bypasses,
+            stall_cycles: self.stall_cycles - base.stall_cycles,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// LLC accesses per kilo-instruction (the APKI of Fig. 10/21).
+    pub fn llc_apki(&self) -> f64 {
+        per_ki(self.llc_accesses + self.llc_bypasses, self.instructions)
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        per_ki(self.llc_misses, self.instructions)
+    }
+
+    /// LLC hits per kilo-instruction.
+    pub fn llc_hpki(&self) -> f64 {
+        per_ki(self.llc_hits, self.instructions)
+    }
+
+    /// Bypasses per kilo-instruction.
+    pub fn llc_bpki(&self) -> f64 {
+        per_ki(self.llc_bypasses, self.instructions)
+    }
+
+    /// Memory accesses per kilo-instruction (misses + bypasses, which both
+    /// go to DRAM).
+    pub fn mem_apki(&self) -> f64 {
+        per_ki(self.llc_misses + self.llc_bypasses, self.instructions)
+    }
+}
+
+fn per_ki(count: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        count as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CoreStats {
+            instructions: 10_000,
+            cycles: 20_000.0,
+            llc_accesses: 100,
+            llc_hits: 60,
+            llc_misses: 40,
+            llc_bypasses: 50,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.llc_apki() - 15.0).abs() < 1e-12);
+        assert!((s.llc_mpki() - 4.0).abs() < 1e-12);
+        assert!((s.mem_apki() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_core_rates_are_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.llc_apki(), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! WhirlTool: profile-guided automatic data classification (Sec. 4).
+//!
+//! WhirlTool brings Whirlpool to unmodified binaries. Three components
+//! (Fig. 14):
+//!
+//! * the **profiler** ([`profile`]) tracks a program's memory allocations
+//!   by *callpoint* (hash of the two innermost return PCs) and samples
+//!   each callpoint's miss-rate curve per interval (50 M instructions in
+//!   the paper, scaled in this reproduction);
+//! * the **analyzer** ([`cluster`]) agglomeratively merges callpoints into
+//!   pools using a distance metric — the area between the *combined*
+//!   (Appendix B flow model) and *partitioned* miss curves, summed over
+//!   intervals (Fig. 15) — producing the hierarchical clustering of
+//!   Fig. 17;
+//! * the **runtime** ([`WhirlToolRuntime`]) replaces the system allocator
+//!   and transparently routes each allocation to its assigned pool
+//!   (unprofiled callpoints fall back to the thread-private pool).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod profiler;
+mod runtime;
+
+pub use analyzer::{cluster, pool_distance, ClusterTree, Merge};
+pub use profiler::{profile, ProfileData, ProfilerConfig};
+pub use runtime::WhirlToolRuntime;

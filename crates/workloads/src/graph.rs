@@ -1,0 +1,304 @@
+//! Synthetic graphs and the METIS-substitute partitioner.
+//!
+//! The paper partitions the irregular parallel apps' input graphs with
+//! METIS "to evenly partition … while minimizing the number of edges
+//! across partitions" (Sec. 3.4). We implement the same contract: R-MAT
+//! generation for power-law inputs, and a BFS-seeded greedy partitioner
+//! with Kernighan–Lin-style boundary refinement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected graph as an edge list + CSR adjacency.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Undirected edges (u, v), u != v, deduplicated.
+    pub edges: Vec<(u32, u32)>,
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (self-loops dropped, duplicates
+    /// merged).
+    pub fn from_edges(num_vertices: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.retain(|&(u, v)| u != v);
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut degree = vec![0u32; num_vertices];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut cursor: Vec<u32> = offsets[..num_vertices].to_vec();
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Self {
+            num_vertices,
+            edges,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// R-MAT generator (Chakrabarti et al.): `2^scale` vertices,
+/// `edge_factor × 2^scale` edges, with the canonical (0.57, 0.19, 0.19)
+/// partition probabilities giving a power-law degree distribution.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(n * edge_factor);
+    for _ in 0..n * edge_factor {
+        let (mut u, mut v) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        edges.push((u as u32, v as u32));
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A k-way partitioning of a graph.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// `assignment[v]` = partition of vertex `v`.
+    pub assignment: Vec<u32>,
+    /// Number of partitions.
+    pub parts: usize,
+}
+
+impl Partitioning {
+    /// Edges crossing partitions.
+    pub fn cut_edges(&self, g: &Graph) -> usize {
+        g.edges
+            .iter()
+            .filter(|&&(u, v)| self.assignment[u as usize] != self.assignment[v as usize])
+            .count()
+    }
+
+    /// Cut ratio: crossing edges / total edges.
+    pub fn cut_ratio(&self, g: &Graph) -> f64 {
+        if g.num_edges() == 0 {
+            0.0
+        } else {
+            self.cut_edges(g) as f64 / g.num_edges() as f64
+        }
+    }
+
+    /// Vertices per partition.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            s[p as usize] += 1;
+        }
+        s
+    }
+
+    /// Max partition size / ideal size.
+    pub fn imbalance(&self, g: &Graph) -> f64 {
+        let ideal = g.num_vertices as f64 / self.parts as f64;
+        self.sizes().iter().copied().max().unwrap_or(0) as f64 / ideal
+    }
+}
+
+/// Partitions `g` into `parts` balanced pieces, minimizing the edge cut:
+/// BFS region growing from spread-out seeds, then boundary refinement.
+pub fn partition(g: &Graph, parts: usize, seed: u64) -> Partitioning {
+    assert!(parts >= 1);
+    let n = g.num_vertices;
+    let mut assignment = vec![u32::MAX; n];
+    let target = n.div_ceil(parts);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // BFS-grow each partition from a random unassigned seed.
+    let mut sizes = vec![0usize; parts];
+    let mut queue = std::collections::VecDeque::new();
+    for p in 0..parts {
+        // Find a seed.
+        let seed_v = (0..n)
+            .map(|_| rng.gen_range(0..n))
+            .find(|&v| assignment[v] == u32::MAX)
+            .or_else(|| (0..n).find(|&v| assignment[v] == u32::MAX));
+        let Some(sv) = seed_v else { break };
+        queue.clear();
+        queue.push_back(sv as u32);
+        while let Some(v) = queue.pop_front() {
+            if sizes[p] >= target {
+                break;
+            }
+            if assignment[v as usize] != u32::MAX {
+                continue;
+            }
+            assignment[v as usize] = p as u32;
+            sizes[p] += 1;
+            for &w in g.neighbors(v) {
+                if assignment[w as usize] == u32::MAX {
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Unreached vertices (isolated or leftovers): least-loaded partition.
+    for v in 0..n {
+        if assignment[v] == u32::MAX {
+            let p = (0..parts).min_by_key(|&p| sizes[p]).expect(">=1 part");
+            assignment[v] = p as u32;
+            sizes[p] += 1;
+        }
+    }
+
+    // KL-style refinement: move boundary vertices to the neighbouring
+    // partition with the largest gain while balance allows.
+    let max_size = (target as f64 * 1.1).ceil() as usize;
+    for _pass in 0..4 {
+        let mut moved = 0;
+        for v in 0..n {
+            let cur = assignment[v] as usize;
+            let mut counts = std::collections::HashMap::new();
+            for &w in g.neighbors(v as u32) {
+                *counts.entry(assignment[w as usize]).or_insert(0usize) += 1;
+            }
+            let internal = counts.get(&(cur as u32)).copied().unwrap_or(0);
+            if let Some((&best_p, &best_c)) = counts
+                .iter()
+                .filter(|&(&p, _)| p as usize != cur)
+                .max_by_key(|&(_, &c)| c)
+            {
+                if best_c > internal
+                    && sizes[best_p as usize] < max_size
+                    && sizes[cur] > target / 2
+                {
+                    assignment[v] = best_p;
+                    sizes[cur] -= 1;
+                    sizes[best_p as usize] += 1;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    Partitioning { assignment, parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 8, 1);
+        assert_eq!(g.num_vertices, 1024);
+        assert!(g.num_edges() > 4000, "dedup leaves most edges");
+        // Power law: max degree far above mean.
+        let max_deg = (0..1024u32).map(|v| g.neighbors(v).len()).max().unwrap();
+        let mean = 2.0 * g.num_edges() as f64 / 1024.0;
+        assert!(max_deg as f64 > 4.0 * mean, "max {max_deg} vs mean {mean}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (1, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.neighbors(0).contains(&1));
+        assert!(g.neighbors(1).contains(&0));
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let g = rmat(12, 8, 2);
+        let p = partition(&g, 16, 3);
+        assert!(p.imbalance(&g) <= 1.2, "imbalance {}", p.imbalance(&g));
+        assert!(p.sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn partition_beats_random_cut() {
+        let g = rmat(12, 8, 4);
+        let p = partition(&g, 16, 5);
+        // Random 16-way assignment cuts ~15/16 of edges.
+        let mut rng = StdRng::seed_from_u64(9);
+        let random = Partitioning {
+            assignment: (0..g.num_vertices).map(|_| rng.gen_range(0..16u32)).collect(),
+            parts: 16,
+        };
+        assert!(
+            p.cut_ratio(&g) < 0.8 * random.cut_ratio(&g),
+            "partitioner cut {} vs random {}",
+            p.cut_ratio(&g),
+            random.cut_ratio(&g)
+        );
+    }
+
+    #[test]
+    fn single_partition_has_no_cut() {
+        let g = rmat(8, 4, 6);
+        let p = partition(&g, 1, 7);
+        assert_eq!(p.cut_edges(&g), 0);
+        assert_eq!(p.imbalance(&g), 1.0);
+    }
+
+    #[test]
+    fn grid_graph_partitions_cleanly() {
+        // A 2D grid: a good partitioner should cut far fewer than half.
+        let w = 32;
+        let mut edges = Vec::new();
+        for y in 0..w {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    edges.push((v, v + 1));
+                }
+                if y + 1 < w {
+                    edges.push((v, v + w as u32));
+                }
+            }
+        }
+        let g = Graph::from_edges(w * w, edges);
+        let p = partition(&g, 4, 8);
+        assert!(p.cut_ratio(&g) < 0.2, "grid cut {}", p.cut_ratio(&g));
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic application models for the Whirlpool reproduction.
+//!
+//! The paper evaluates on SPEC CPU2006 and PBBS binaries; this crate
+//! substitutes *application models* — parameterized generators that
+//! reproduce the published memory behaviour of each benchmark: the pool
+//! structure (sizes, access patterns, per-phase access mixes) that
+//! Whirlpool exploits. See DESIGN.md §2 for the substitution argument and
+//! [`registry`] for the per-app calibrations (dt's 0.5/1.5/4 MB pools with
+//! an even access split, lbm's alternating grids, mis's streaming edges,
+//! refine's irregular phase inversions, and so on).
+//!
+//! Contents:
+//! * [`Pattern`] — line-level access patterns (uniform, hot/cold, sweep,
+//!   pointer chase).
+//! * [`AppSpec`] / [`AppModel`] — an app as pools + phases; instantiated,
+//!   it allocates real (simulated) memory through the pool-aware heap and
+//!   emits an LLC-bound [`wp_sim::Workload`] trace.
+//! * [`registry`] — all 31 single-threaded apps (15 SPEC + 16 PBBS).
+//! * [`graph`] — synthetic R-MAT graphs and the METIS-substitute
+//!   partitioner used by the parallel apps.
+//! * [`parallel`] — the six task-parallel apps of Fig. 13.
+//! * [`mix`] — random multi-program mixes (Appendix A methodology).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod mix;
+mod model;
+pub mod parallel;
+mod pattern;
+pub mod registry;
+
+pub use model::{AppModel, AppSpec, AppTrace, Phase, PoolMix, PoolSpec};
+pub use pattern::{Pattern, PatternState};

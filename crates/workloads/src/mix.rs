@@ -1,0 +1,92 @@
+//! Multi-program mix generation (Appendix A).
+//!
+//! "We run random mixes with 1 B instructions per app after fast-forwarding
+//! … All apps are kept running until all finish" — the fixed-work
+//! methodology implemented by [`wp_sim::MultiCoreSim::run`]. This module
+//! supplies the random app selections: 20 mixes of memory-intensive SPEC
+//! apps at 4 and 16 cores (Fig. 22).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::registry::SPEC_APPS;
+
+/// Generates `count` random mixes of `cores` SPEC apps each (with
+/// repetition across mixes, without repetition within a mix when
+/// possible — matching random multiprogrammed-mix methodology).
+pub fn random_mixes(count: usize, cores: usize, seed: u64) -> Vec<Vec<&'static str>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut mix = Vec::with_capacity(cores);
+            let mut available: Vec<&'static str> = SPEC_APPS.to_vec();
+            for _ in 0..cores {
+                if available.is_empty() {
+                    // More cores than apps (16-core mixes): repetition OK.
+                    available = SPEC_APPS.to_vec();
+                }
+                let i = rng.gen_range(0..available.len());
+                mix.push(available.swap_remove(i));
+            }
+            mix
+        })
+        .collect()
+}
+
+/// Weighted speedup of a mix versus a baseline: `Σ_i IPC_i / IPC_base_i`,
+/// normalized by core count — the Fig. 22 metric.
+pub fn weighted_speedup(ipc: &[f64], baseline_ipc: &[f64]) -> f64 {
+    assert_eq!(ipc.len(), baseline_ipc.len());
+    assert!(!ipc.is_empty());
+    let sum: f64 = ipc
+        .iter()
+        .zip(baseline_ipc)
+        .map(|(&a, &b)| if b > 0.0 { a / b } else { 0.0 })
+        .sum();
+    sum / ipc.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_have_right_shape() {
+        let m = random_mixes(20, 4, 1);
+        assert_eq!(m.len(), 20);
+        for mix in &m {
+            assert_eq!(mix.len(), 4);
+            // No repetition within a 4-app mix.
+            let set: std::collections::HashSet<_> = mix.iter().collect();
+            assert_eq!(set.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sixteen_core_mixes_allow_repetition() {
+        let m = random_mixes(5, 16, 2);
+        for mix in &m {
+            assert_eq!(mix.len(), 16);
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        assert_eq!(random_mixes(3, 4, 7), random_mixes(3, 4, 7));
+        assert_ne!(random_mixes(3, 4, 7), random_mixes(3, 4, 8));
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let ipc = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_improvement() {
+        let base = [1.0, 1.0];
+        let better = [1.2, 1.1];
+        let ws = weighted_speedup(&better, &base);
+        assert!((ws - 1.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,446 @@
+//! Task-parallel application models (Sec. 3.4, Fig. 13).
+//!
+//! Each app's input data is split into per-core partitions (for graph apps,
+//! by the [`crate::graph`] partitioner). Work is a sequence of *rounds*
+//! (sort/merge stages, FFT stages, PageRank iterations); each round spawns
+//! one task per partition. A task mostly touches its home partition, plus a
+//! per-app fraction of remote accesses (the stage partner for butterfly
+//! apps, cut-proportional neighbours for graph apps). Running a task away
+//! from its home core loses private-cache locality, which shows up as a
+//! higher LLC access rate — the effect PaWS reduces (Fig. 13's J+PaWS bar)
+//! and Whirlpool's per-partition pools then exploit (W+PaWS).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wp_mem::{CallpointId, Heap, LineAddr, PoolId, LINE_BYTES};
+use wp_sim::{PoolDescriptor, TraceEvent};
+
+use crate::graph::{partition, rmat};
+use crate::pattern::{Pattern, PatternState};
+
+/// How a task picks its remote partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteKind {
+    /// Butterfly partner: `home XOR 2^(round mod log2 k)` (fft, mergesort).
+    Butterfly,
+    /// Uniform random other partition (graph apps; the cut fraction comes
+    /// from the real partitioner).
+    RandomCut,
+}
+
+/// A parallel application specification.
+#[derive(Debug, Clone)]
+pub struct ParallelSpec {
+    /// App name.
+    pub name: &'static str,
+    /// Partitions (= cores, 16 in Fig. 13).
+    pub partitions: usize,
+    /// Bytes per partition.
+    pub bytes_per_partition: u64,
+    /// Access pattern within a partition.
+    pub pattern: Pattern,
+    /// Rounds of tasks.
+    pub rounds: usize,
+    /// Tasks per partition per round.
+    pub tasks_per_partition: usize,
+    /// Instructions per task.
+    pub instrs_per_task: u64,
+    /// LLC accesses per task when run on its home core.
+    pub accesses_per_task: u64,
+    /// Fraction of accesses to remote partitions.
+    pub remote_frac: f64,
+    /// Remote target selection.
+    pub remote_kind: RemoteKind,
+    /// LLC access multiplier when the task runs off-home (cold private
+    /// caches).
+    pub foreign_penalty: f64,
+    /// Relative task duration jitter (load imbalance → stealing).
+    pub duration_jitter: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// One task: a unit of schedulable work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Task {
+    /// Round index.
+    pub round: usize,
+    /// Home partition (and preferred core under PaWS).
+    pub home: usize,
+    /// Sequence number within (round, home).
+    pub index: usize,
+}
+
+/// An instantiated parallel app: allocated partitions + task list.
+#[derive(Debug)]
+pub struct ParallelApp {
+    spec: ParallelSpec,
+    /// Per-partition line ranges `(first_line, lines)` (single extent).
+    regions: Vec<(u64, u64)>,
+    pools: Vec<PoolDescriptor>,
+}
+
+impl ParallelApp {
+    /// Instantiates the app: allocates one pool per partition.
+    pub fn new(spec: ParallelSpec) -> Self {
+        let mut heap = Heap::new();
+        let mut regions = Vec::with_capacity(spec.partitions);
+        let mut pools = Vec::with_capacity(spec.partitions);
+        for p in 0..spec.partitions {
+            let pid = heap.create_pool();
+            let cp = CallpointId::from_return_pcs(0x7000 + p as u64, spec.seed);
+            let addr = heap.pool_malloc(spec.bytes_per_partition, pid, cp);
+            let lines = spec.bytes_per_partition / LINE_BYTES;
+            regions.push((addr.line().0, lines));
+            pools.push(PoolDescriptor {
+                name: format!("part{p}"),
+                pool: Some(PoolId(p as u32 + 1)),
+                pages: heap.pages_of_pool(pid).to_vec(),
+                bytes: spec.bytes_per_partition,
+            });
+        }
+        Self {
+            spec,
+            regions,
+            pools,
+        }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ParallelSpec {
+        &self.spec
+    }
+
+    /// One pool descriptor per partition — the Whirlpool classification
+    /// ("we simply map data from each partition to a separate pool").
+    pub fn descriptors(&self) -> Vec<PoolDescriptor> {
+        self.pools.clone()
+    }
+
+    /// The descriptor for one partition (registered with its home core).
+    pub fn descriptor_of(&self, partition: usize) -> PoolDescriptor {
+        self.pools[partition].clone()
+    }
+
+    /// All tasks, in round order (rounds are barriers: round `r+1` only
+    /// starts when `r` is drained — enforced by the scheduler).
+    pub fn tasks(&self) -> Vec<Task> {
+        let mut out = Vec::new();
+        for round in 0..self.spec.rounds {
+            for home in 0..self.spec.partitions {
+                for index in 0..self.spec.tasks_per_partition {
+                    out.push(Task { round, home, index });
+                }
+            }
+        }
+        out
+    }
+
+    /// Nominal duration of a task in instructions, with deterministic
+    /// per-task jitter (load imbalance).
+    pub fn task_instrs(&self, task: Task) -> u64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.spec
+                .seed
+                .wrapping_add((task.round as u64) << 32)
+                .wrapping_add((task.home as u64) << 16)
+                .wrapping_add(task.index as u64),
+        );
+        let j = self.spec.duration_jitter;
+        let scale = if j > 0.0 { 1.0 + rng.gen_range(-j..j) } else { 1.0 };
+        (self.spec.instrs_per_task as f64 * scale) as u64
+    }
+
+    /// Generates the LLC-bound events of `task` executed on `core`.
+    /// Off-home execution inflates the access count by the foreign
+    /// penalty (cold private caches).
+    pub fn task_events(&self, task: Task, core: usize) -> Vec<TraceEvent> {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(
+            spec.seed ^ (task.round as u64) << 40
+                ^ (task.home as u64) << 24
+                ^ (task.index as u64) << 8
+                ^ core as u64,
+        );
+        let foreign = core != task.home;
+        let accesses = if foreign {
+            (spec.accesses_per_task as f64 * spec.foreign_penalty) as u64
+        } else {
+            spec.accesses_per_task
+        };
+        let instrs = self.task_instrs(task);
+        let gap = (instrs / accesses.max(1)).max(1) as u32;
+        let mut pattern = PatternState::new(
+            spec.pattern,
+            self.regions[task.home].1,
+            rng.gen(),
+        );
+        let log2k = (spec.partitions as f64).log2().round() as usize;
+        let mut out = Vec::with_capacity(accesses as usize);
+        for _ in 0..accesses {
+            let remote = rng.gen_bool(spec.remote_frac.clamp(0.0, 1.0));
+            let part = if !remote {
+                task.home
+            } else {
+                match spec.remote_kind {
+                    RemoteKind::Butterfly => {
+                        let bit = 1usize << (task.round % log2k.max(1));
+                        (task.home ^ bit) % spec.partitions
+                    }
+                    RemoteKind::RandomCut => {
+                        let mut p = rng.gen_range(0..spec.partitions);
+                        if p == task.home {
+                            p = (p + 1) % spec.partitions;
+                        }
+                        p
+                    }
+                }
+            };
+            let (start, lines) = self.regions[part];
+            let idx = if part == task.home {
+                pattern.next_index()
+            } else {
+                rng.gen_range(0..lines)
+            };
+            out.push(TraceEvent {
+                gap_instrs: gap,
+                line: LineAddr(start + idx),
+                is_write: false,
+            });
+        }
+        out
+    }
+}
+
+/// The six Fig.-13 apps, on `cores` partitions.
+pub fn parallel_apps(cores: usize, seed: u64) -> Vec<ParallelSpec> {
+    // Graph apps derive their remote fraction from a real partitioning of
+    // an R-MAT graph, like the paper's METIS step.
+    let g = rmat(14, 8, seed);
+    let p = partition(&g, cores, seed ^ 1);
+    let cut = p.cut_ratio(&g);
+    // A vertex's neighbours split cut/uncut; remote accesses follow.
+    let graph_remote = (cut * 0.9).clamp(0.05, 0.9);
+    vec![
+        ParallelSpec {
+            name: "mergesort",
+            partitions: cores,
+            bytes_per_partition: 2 * 1024 * 1024,
+            pattern: Pattern::Sweep,
+            rounds: 5,
+            tasks_per_partition: 4,
+            instrs_per_task: 400_000,
+            accesses_per_task: 16_000,
+            remote_frac: 0.35,
+            remote_kind: RemoteKind::Butterfly,
+            foreign_penalty: 1.35,
+            duration_jitter: 0.25,
+            seed,
+        },
+        ParallelSpec {
+            name: "fft",
+            partitions: cores,
+            bytes_per_partition: 2 * 1024 * 1024,
+            pattern: Pattern::Uniform,
+            rounds: 5,
+            tasks_per_partition: 4,
+            instrs_per_task: 350_000,
+            accesses_per_task: 17_000,
+            remote_frac: 0.4,
+            remote_kind: RemoteKind::Butterfly,
+            foreign_penalty: 1.3,
+            duration_jitter: 0.15,
+            seed: seed ^ 2,
+        },
+        ParallelSpec {
+            name: "delaunay",
+            partitions: cores,
+            bytes_per_partition: 2 * 1024 * 1024,
+            pattern: Pattern::Uniform,
+            rounds: 6,
+            tasks_per_partition: 4,
+            instrs_per_task: 300_000,
+            accesses_per_task: 9_000,
+            remote_frac: 0.08,
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.4,
+            duration_jitter: 0.35,
+            seed: seed ^ 3,
+        },
+        ParallelSpec {
+            name: "pagerank",
+            partitions: cores,
+            bytes_per_partition: 5 * 1024 * 1024 / 2,
+            pattern: Pattern::Uniform,
+            rounds: 8,
+            tasks_per_partition: 4,
+            instrs_per_task: 350_000,
+            accesses_per_task: 21_000,
+            remote_frac: graph_remote,
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.45,
+            duration_jitter: 0.4,
+            seed: seed ^ 4,
+        },
+        ParallelSpec {
+            name: "connectedComponents",
+            partitions: cores,
+            bytes_per_partition: 2 * 1024 * 1024,
+            pattern: Pattern::Uniform,
+            rounds: 8,
+            tasks_per_partition: 4,
+            instrs_per_task: 300_000,
+            accesses_per_task: 24_000,
+            remote_frac: (graph_remote * 1.2).min(0.9),
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.5,
+            duration_jitter: 0.5,
+            seed: seed ^ 5,
+        },
+        ParallelSpec {
+            name: "triangleCounting",
+            partitions: cores,
+            bytes_per_partition: 3 * 1024 * 1024 / 2,
+            pattern: Pattern::Uniform,
+            rounds: 4,
+            tasks_per_partition: 4,
+            instrs_per_task: 450_000,
+            accesses_per_task: 20_000,
+            remote_frac: (graph_remote * 1.4).min(0.9),
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.35,
+            duration_jitter: 0.3,
+            seed: seed ^ 6,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ParallelSpec {
+        ParallelSpec {
+            name: "toy",
+            partitions: 4,
+            bytes_per_partition: 256 * 1024,
+            pattern: Pattern::Uniform,
+            rounds: 2,
+            tasks_per_partition: 2,
+            instrs_per_task: 10_000,
+            accesses_per_task: 500,
+            remote_frac: 0.25,
+            remote_kind: RemoteKind::RandomCut,
+            foreign_penalty: 1.5,
+            duration_jitter: 0.2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn partitions_allocate_disjoint_pools() {
+        let app = ParallelApp::new(small_spec());
+        let d = app.descriptors();
+        assert_eq!(d.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for desc in &d {
+            for p in &desc.pages {
+                assert!(seen.insert(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn task_list_covers_rounds_and_partitions() {
+        let app = ParallelApp::new(small_spec());
+        let tasks = app.tasks();
+        assert_eq!(tasks.len(), 2 * 4 * 2);
+        assert!(tasks.iter().any(|t| t.round == 1 && t.home == 3));
+    }
+
+    #[test]
+    fn home_execution_touches_mostly_home_partition() {
+        let app = ParallelApp::new(small_spec());
+        let t = Task {
+            round: 0,
+            home: 2,
+            index: 0,
+        };
+        let events = app.task_events(t, 2);
+        let (start, lines) = app.regions[2];
+        let local = events
+            .iter()
+            .filter(|e| e.line.0 >= start && e.line.0 < start + lines)
+            .count();
+        let frac = local as f64 / events.len() as f64;
+        assert!((frac - 0.75).abs() < 0.07, "local frac {frac}");
+    }
+
+    #[test]
+    fn foreign_execution_costs_more_accesses() {
+        let app = ParallelApp::new(small_spec());
+        let t = Task {
+            round: 0,
+            home: 0,
+            index: 0,
+        };
+        let home = app.task_events(t, 0).len();
+        let away = app.task_events(t, 3).len();
+        assert!(away > home, "foreign penalty must inflate accesses");
+    }
+
+    #[test]
+    fn butterfly_partner_is_round_dependent() {
+        let mut spec = small_spec();
+        spec.remote_kind = RemoteKind::Butterfly;
+        spec.remote_frac = 1.0; // all remote
+        let app = ParallelApp::new(spec);
+        let r0 = app.task_events(
+            Task {
+                round: 0,
+                home: 0,
+                index: 0,
+            },
+            0,
+        );
+        // Round 0: partner = 0 ^ 1 = 1. All remote accesses in partition 1.
+        let (start, lines) = app.regions[1];
+        assert!(r0
+            .iter()
+            .all(|e| e.line.0 >= start && e.line.0 < start + lines));
+    }
+
+    #[test]
+    fn fig13_apps_instantiate() {
+        for spec in parallel_apps(16, 42) {
+            let name = spec.name;
+            let app = ParallelApp::new(spec);
+            assert_eq!(app.descriptors().len(), 16, "{name}");
+            assert!(!app.tasks().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn graph_apps_have_meaningful_remote_fraction() {
+        let specs = parallel_apps(16, 7);
+        let pr = specs.iter().find(|s| s.name == "pagerank").unwrap();
+        assert!(pr.remote_frac > 0.05 && pr.remote_frac < 0.9);
+    }
+
+    #[test]
+    fn task_durations_jitter_deterministically() {
+        let app = ParallelApp::new(small_spec());
+        let t = Task {
+            round: 1,
+            home: 1,
+            index: 1,
+        };
+        assert_eq!(app.task_instrs(t), app.task_instrs(t));
+        let t2 = Task {
+            round: 1,
+            home: 1,
+            index: 0,
+        };
+        assert_ne!(app.task_instrs(t), app.task_instrs(t2));
+    }
+}

@@ -1,0 +1,228 @@
+//! Line-level access patterns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a pool's lines are accessed.
+///
+/// Patterns are defined over a pool's line count `n` and produce line
+/// *indices* in `[0, n)`; the model maps indices to real addresses through
+/// the pool's allocated extents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Uniform random over the region: the miss curve falls roughly
+    /// linearly until the region fits (dt's structures, mis's vertices).
+    Uniform,
+    /// A hot subset absorbs most accesses: `hot_frac` of the region gets
+    /// `hot_weight` of the accesses (skewed structures: hash tables, roots
+    /// of trees, ftab-style histograms).
+    HotCold {
+        /// Fraction of the region that is hot, in `(0, 1]`.
+        hot_frac: f64,
+        /// Fraction of accesses that go to the hot region, in `[0, 1]`.
+        hot_weight: f64,
+    },
+    /// Cyclic sequential sweep: streaming when the region exceeds the
+    /// cache (mis's edges), stencil-like reuse when it fits (lbm's grids).
+    Sweep,
+    /// Pointer chase through a fixed random permutation: like Uniform for
+    /// capacity purposes but serialized (mcf's node walks).
+    Chase,
+    /// A streaming sweep with stencil-style reuse: the head advances
+    /// cyclically, but a `revisit` fraction of accesses land uniformly in
+    /// the trailing window of `window_frac × lines`. The LLC-visible miss
+    /// curve has its knee at the window size — lbm's source grid, whose
+    /// 19-point stencil re-reads recent rows while the full grid streams
+    /// far beyond the cache.
+    WindowedSweep {
+        /// Trailing-window size as a fraction of the region, in `(0, 1]`.
+        window_frac: f64,
+        /// Fraction of accesses that revisit the window, in `[0, 1]`.
+        revisit: f64,
+    },
+}
+
+/// Instantiated pattern state for one pool.
+#[derive(Debug, Clone)]
+pub struct PatternState {
+    pattern: Pattern,
+    lines: u64,
+    pos: u64,
+    perm: Vec<u32>,
+    rng: StdRng,
+}
+
+impl PatternState {
+    /// Creates pattern state over `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(pattern: Pattern, lines: u64, seed: u64) -> Self {
+        assert!(lines > 0, "pool must have at least one line");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = if matches!(pattern, Pattern::Chase) {
+            // Sattolo's algorithm: a single cycle through all lines.
+            let n = lines as usize;
+            let mut p: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..i);
+                p.swap(i, j);
+            }
+            p
+        } else {
+            Vec::new()
+        };
+        Self {
+            pattern,
+            lines,
+            pos: 0,
+            perm,
+            rng,
+        }
+    }
+
+    /// The next line index.
+    pub fn next_index(&mut self) -> u64 {
+        match self.pattern {
+            Pattern::Uniform => self.rng.gen_range(0..self.lines),
+            Pattern::HotCold {
+                hot_frac,
+                hot_weight,
+            } => {
+                let hot_lines = ((self.lines as f64 * hot_frac) as u64).max(1);
+                if self.rng.gen_bool(hot_weight.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_lines)
+                } else if hot_lines < self.lines {
+                    self.rng.gen_range(hot_lines..self.lines)
+                } else {
+                    self.rng.gen_range(0..self.lines)
+                }
+            }
+            Pattern::Sweep => {
+                let idx = self.pos;
+                self.pos = (self.pos + 1) % self.lines;
+                idx
+            }
+            Pattern::Chase => {
+                let idx = self.pos;
+                self.pos = self.perm[self.pos as usize] as u64;
+                idx
+            }
+            Pattern::WindowedSweep {
+                window_frac,
+                revisit,
+            } => {
+                let window = ((self.lines as f64 * window_frac) as u64).max(1);
+                if self.rng.gen_bool(revisit.clamp(0.0, 1.0)) {
+                    let back = self.rng.gen_range(0..window);
+                    (self.pos + self.lines - back) % self.lines
+                } else {
+                    let idx = self.pos;
+                    self.pos = (self.pos + 1) % self.lines;
+                    idx
+                }
+            }
+        }
+    }
+
+    /// Swaps the pattern (phase changes), preserving position where it
+    /// makes sense.
+    pub fn set_pattern(&mut self, pattern: Pattern) {
+        if pattern == self.pattern {
+            return;
+        }
+        if matches!(pattern, Pattern::Chase) && self.perm.is_empty() {
+            let n = self.lines as usize;
+            let mut p: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = self.rng.gen_range(0..i);
+                p.swap(i, j);
+            }
+            self.perm = p;
+        }
+        self.pos %= self.lines;
+        self.pattern = pattern;
+    }
+
+    /// The current pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_region() {
+        let mut p = PatternState::new(Pattern::Uniform, 64, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let i = p.next_index();
+            assert!(i < 64);
+            seen.insert(i);
+        }
+        assert!(seen.len() > 60, "uniform should cover nearly all lines");
+    }
+
+    #[test]
+    fn hot_cold_is_skewed() {
+        let mut p = PatternState::new(
+            Pattern::HotCold {
+                hot_frac: 0.1,
+                hot_weight: 0.9,
+            },
+            1000,
+            2,
+        );
+        let mut hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if p.next_index() < 100 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.05, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn sweep_is_cyclic() {
+        let mut p = PatternState::new(Pattern::Sweep, 4, 3);
+        let idxs: Vec<u64> = (0..8).map(|_| p.next_index()).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chase_visits_every_line_once_per_cycle() {
+        let mut p = PatternState::new(Pattern::Chase, 97, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..97 {
+            seen.insert(p.next_index());
+        }
+        assert_eq!(seen.len(), 97, "Sattolo cycle must visit all lines");
+    }
+
+    #[test]
+    fn pattern_switch_mid_stream() {
+        let mut p = PatternState::new(Pattern::Sweep, 16, 5);
+        p.next_index();
+        p.set_pattern(Pattern::Chase);
+        for _ in 0..32 {
+            assert!(p.next_index() < 16);
+        }
+        p.set_pattern(Pattern::Uniform);
+        assert!(p.next_index() < 16);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = PatternState::new(Pattern::Uniform, 100, 7);
+        let mut b = PatternState::new(Pattern::Uniform, 100, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_index(), b.next_index());
+        }
+    }
+}

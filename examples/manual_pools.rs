@@ -1,0 +1,67 @@
+//! The mis (maximal independent set) case study of Fig. 9/10: manual
+//! classification separates cache-friendly vertices from streaming edges,
+//! and Whirlpool's dynamic policies give the cache to vertices while
+//! bypassing edges entirely.
+//!
+//! ```sh
+//! cargo run --release --example manual_pools
+//! ```
+
+use whirlpool_repro::harness::{
+    exec_cycles, render_occupancy, run_single_app, run_single_app_with, speedup_pct,
+    four_core_config, Classification, SchemeKind,
+};
+
+fn main() {
+    const INSTRS: u64 = 6_000_000;
+    println!("mis across all six schemes ({INSTRS} instructions each):\n");
+    println!(
+        "{:<12} {:>12} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "scheme", "cycles", "APKI", "hits/KI", "miss/KI", "byp/KI", "energy nJ/KI"
+    );
+    let mut jig_cycles = 0.0;
+    let mut wp_cycles = 0.0;
+    for kind in whirlpool_repro::harness::SchemeKind::FIG10 {
+        let classification = if kind.uses_pools() {
+            Classification::Manual
+        } else {
+            Classification::None
+        };
+        let out = run_single_app(kind, "MIS", classification, INSTRS);
+        let c = &out.cores[0];
+        println!(
+            "{:<12} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>12.2}",
+            out.scheme,
+            c.cycles,
+            c.llc_apki(),
+            c.llc_hpki(),
+            c.llc_mpki(),
+            c.llc_bpki(),
+            out.energy_per_ki(),
+        );
+        if kind == SchemeKind::Jigsaw {
+            jig_cycles = exec_cycles(&out);
+        }
+        if kind == SchemeKind::Whirlpool {
+            wp_cycles = exec_cycles(&out);
+        }
+    }
+    println!(
+        "\nWhirlpool over Jigsaw on mis: {:+.1}% (the paper reports +38%)",
+        speedup_pct(jig_cycles, wp_cycles)
+    );
+
+    // Show where Whirlpool put the data (the Fig. 5-style map).
+    let sys = four_core_config();
+    let out = run_single_app_with(
+        SchemeKind::Whirlpool,
+        "MIS",
+        Classification::Manual,
+        INSTRS,
+        sys.clone(),
+    );
+    let _ = out;
+    println!("\n(see fig05_dt_placement in wp-bench for the dt placement maps)");
+    let occ: Vec<(usize, String, f64)> = vec![];
+    let _ = render_occupancy(&sys, &occ);
+}

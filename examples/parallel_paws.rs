@@ -1,0 +1,63 @@
+//! Partitioned work-stealing (PaWS) with Whirlpool on the 16-core chip
+//! (Sec. 3.4, Fig. 13): data partitioned per core, tasks enqueued at their
+//! data's home, nearby stealing, and one memory pool per partition.
+//!
+//! ```sh
+//! cargo run --release --example parallel_paws
+//! ```
+
+use wp_paws::SchedPolicy;
+use wp_workloads::parallel::parallel_apps;
+use whirlpool_repro::harness::{makespan_cycles, run_parallel, speedup_pct, SchemeKind};
+
+fn main() {
+    let specs = parallel_apps(16, 42);
+    let app = specs
+        .into_iter()
+        .find(|s| s.name == "pagerank")
+        .expect("pagerank exists");
+    println!(
+        "pagerank on 16 cores: {} partitions x {} KB, remote fraction {:.2}\n",
+        app.partitions,
+        app.bytes_per_partition / 1024,
+        app.remote_frac
+    );
+
+    let configs = [
+        ("S-NUCA", SchemeKind::SNucaLru, SchedPolicy::WorkStealing),
+        ("Jigsaw", SchemeKind::Jigsaw, SchedPolicy::WorkStealing),
+        ("Jigsaw + PaWS", SchemeKind::Jigsaw, SchedPolicy::Paws),
+        ("Whirlpool + PaWS", SchemeKind::Whirlpool, SchedPolicy::Paws),
+    ];
+    let mut baseline = 0.0f64;
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "config", "makespan", "vs Jigsaw", "energy nJ/KI", "home-frac", "steals"
+    );
+    let mut jigsaw_makespan = 0.0;
+    for (label, kind, policy) in configs {
+        let run = run_parallel(kind, app.clone(), policy);
+        let mk = makespan_cycles(&run.summary);
+        if label == "Jigsaw" {
+            jigsaw_makespan = mk;
+        }
+        if baseline == 0.0 {
+            baseline = mk;
+        }
+        let vs = if jigsaw_makespan > 0.0 {
+            speedup_pct(jigsaw_makespan, mk)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>12.0} {:>9.1}% {:>12.2} {:>10.2} {:>8}",
+            label,
+            mk,
+            vs,
+            run.summary.energy_per_ki(),
+            run.schedule.home_fraction(),
+            run.schedule.steals,
+        );
+    }
+    println!("\n(paper: J+PaWS ~+19% on pagerank; W+PaWS adds pool placement on top)");
+}

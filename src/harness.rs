@@ -1,0 +1,425 @@
+//! Experiment harness: scheme factories and runners shared by the
+//! per-figure benchmarks, the examples, and the integration tests.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wp_baselines::{AwasthiParams, AwasthiScheme, IdealSpdScheme, SNucaScheme, SnucaReplacement};
+use wp_jigsaw::JigsawScheme;
+use wp_mem::{CallpointId, PageId};
+use wp_noc::CoreId;
+use wp_paws::{core_workloads, schedule, ParallelClassification, SchedPolicy, Schedule};
+use wp_sim::{LlcScheme, MultiCoreSim, RunSummary, SystemConfig};
+use wp_whirltool::{cluster, profile, ProfilerConfig};
+use wp_workloads::parallel::{ParallelApp, ParallelSpec};
+use wp_workloads::registry;
+use wp_workloads::AppModel;
+use whirlpool::WhirlpoolScheme;
+
+/// The evaluated LLC schemes (Fig. 10/21 set plus the bypass ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// S-NUCA with LRU banks.
+    SNucaLru,
+    /// S-NUCA with DRRIP banks.
+    SNucaDrrip,
+    /// Idealized shared-private D-NUCA (Appendix A).
+    IdealSpd,
+    /// Awasthi et al. page migration.
+    Awasthi,
+    /// Jigsaw (with bypassing).
+    Jigsaw,
+    /// Jigsaw without bypassing (ablation).
+    JigsawNoBypass,
+    /// Whirlpool (per-pool VCs + bypassing).
+    Whirlpool,
+    /// Whirlpool without bypassing (ablation).
+    WhirlpoolNoBypass,
+}
+
+impl SchemeKind {
+    /// The six-scheme comparison of Figs. 10/19/20/21.
+    pub const FIG10: [SchemeKind; 6] = [
+        SchemeKind::SNucaLru,
+        SchemeKind::SNucaDrrip,
+        SchemeKind::IdealSpd,
+        SchemeKind::Awasthi,
+        SchemeKind::Jigsaw,
+        SchemeKind::Whirlpool,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::SNucaLru => "LRU",
+            SchemeKind::SNucaDrrip => "DRRIP",
+            SchemeKind::IdealSpd => "IdealSPD",
+            SchemeKind::Awasthi => "Awasthi",
+            SchemeKind::Jigsaw => "Jigsaw",
+            SchemeKind::JigsawNoBypass => "Jigsaw-NoBypass",
+            SchemeKind::Whirlpool => "Whirlpool",
+            SchemeKind::WhirlpoolNoBypass => "Whirlpool-NoBypass",
+        }
+    }
+
+    /// Whether this scheme consumes static classification.
+    pub fn uses_pools(self) -> bool {
+        matches!(self, SchemeKind::Whirlpool | SchemeKind::WhirlpoolNoBypass)
+    }
+}
+
+/// Instantiates a scheme for a system.
+pub fn make_scheme(kind: SchemeKind, sys: &SystemConfig) -> Box<dyn LlcScheme> {
+    match kind {
+        SchemeKind::SNucaLru => Box::new(SNucaScheme::new(sys, SnucaReplacement::Lru)),
+        SchemeKind::SNucaDrrip => Box::new(SNucaScheme::new(sys, SnucaReplacement::Drrip)),
+        SchemeKind::IdealSpd => Box::new(IdealSpdScheme::new(sys)),
+        SchemeKind::Awasthi => Box::new(AwasthiScheme::new(sys, AwasthiParams::default())),
+        SchemeKind::Jigsaw => Box::new(JigsawScheme::new(sys.clone())),
+        SchemeKind::JigsawNoBypass => Box::new(JigsawScheme::without_bypass(sys.clone())),
+        SchemeKind::Whirlpool => Box::new(WhirlpoolScheme::new(sys.clone())),
+        SchemeKind::WhirlpoolNoBypass => {
+            Box::new(WhirlpoolScheme::without_bypass(sys.clone()))
+        }
+    }
+}
+
+/// How a workload's data is classified into pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// No pools (baselines and Jigsaw ignore them anyway).
+    None,
+    /// The manual Table-2-style classification built into the app model.
+    Manual,
+    /// WhirlTool's automatic classification with `pools` clusters,
+    /// profiled on the train (`train = true`) or reference input.
+    WhirlTool {
+        /// Number of pools to cluster into.
+        pools: usize,
+        /// Profile on the training input (the paper's default).
+        train: bool,
+    },
+}
+
+/// The default 4-core system used for single-app and 4-core mix runs,
+/// with the reconfiguration interval scaled to our run lengths.
+pub fn four_core_config() -> SystemConfig {
+    let mut sys = SystemConfig::four_core();
+    sys.reconfig_interval_cycles = 2_500_000;
+    sys
+}
+
+/// The 16-core system (Fig. 12/13/22b).
+pub fn sixteen_core_config() -> SystemConfig {
+    let mut sys = SystemConfig::sixteen_core();
+    sys.reconfig_interval_cycles = 2_500_000;
+    sys
+}
+
+/// Runs WhirlTool end to end for `app`: profile (train or ref input),
+/// cluster, return the callpoint→pool assignment.
+pub fn classify_with_whirltool(
+    app: &str,
+    pools: usize,
+    train: bool,
+) -> HashMap<CallpointId, usize> {
+    let spec = if train {
+        registry::train_spec(app)
+    } else {
+        registry::spec(app)
+    };
+    let model = AppModel::new(spec);
+    let page_map: HashMap<PageId, CallpointId> = model
+        .callpoints()
+        .iter()
+        .flat_map(|(cp, _, pages)| pages.iter().map(move |p| (*p, *cp)))
+        .collect();
+    let mut trace = model.trace();
+    let data = profile(
+        &mut trace,
+        &page_map,
+        ProfilerConfig {
+            interval_instrs: 2_000_000,
+            total_instrs: 10_000_000,
+            granule_lines: 1024,
+            curve_points: 201,
+        },
+    );
+    let tree = cluster(&data, 200);
+    tree.assignment(pools)
+}
+
+/// Builds the pool descriptors of `model` under a classification.
+pub fn descriptors_for(
+    model: &AppModel,
+    app: &str,
+    classification: Classification,
+) -> Vec<wp_sim::PoolDescriptor> {
+    match classification {
+        Classification::None => Vec::new(),
+        Classification::Manual => model.descriptors_manual(),
+        Classification::WhirlTool { pools, train } => {
+            let assignment = classify_with_whirltool(app, pools, train);
+            model.descriptors_from_clusters(&assignment)
+        }
+    }
+}
+
+/// Per-app run budget `(warmup_instrs, measure_instrs)`, the scaled-down
+/// analogue of the paper's 20 B fast-forward + 10 B measurement: warmup
+/// covers ~3 walks of the (LLC-capped) working set; measurement covers at
+/// least twice that, a 10 M floor, and ≥3 full phase cycles for phased
+/// apps.
+pub fn run_budget(app: &str) -> (u64, u64) {
+    let spec = registry::spec(app);
+    let llc_lines = 200u64 * 1024; // 4-core LLC (12.5 MB)
+    // Monitors need ~2 walks of each pool's footprint at that pool's access
+    // rate before its curve tail converges, plus the EWMA window. Budget 3
+    // walks of the slowest LLC-fitting pool (streaming pools never converge
+    // to cacheable and are capped at the LLC size).
+    let weight_sum: f64 = spec.phases[0].mix.iter().map(|m| m.weight).sum();
+    let slowest_walk = spec
+        .pools
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let weight: f64 = spec
+                .phases
+                .iter()
+                .flat_map(|ph| ph.mix.iter())
+                .filter(|m| m.pool == i)
+                .map(|m| m.weight)
+                .fold(0.0, f64::max);
+            let share = (weight / weight_sum).max(1e-3);
+            let pool_apki = spec.apki * share;
+            let lines = (p.bytes / 64).min(2 * llc_lines);
+            (lines * 1000) as f64 / pool_apki
+        })
+        .fold(0.0, f64::max) as u64;
+    let warmup = (3 * slowest_walk + 3_000_000).clamp(4_000_000, 120_000_000);
+    let phase_cycle: u64 = spec
+        .phases
+        .iter()
+        .map(|p| {
+            if p.duration_instrs == u64::MAX {
+                0
+            } else {
+                p.duration_instrs
+            }
+        })
+        .sum();
+    let measure = (2 * warmup).max(10_000_000).max(3 * phase_cycle);
+    (warmup, measure)
+}
+
+/// Runs one app alone on core 0 of the 4-core chip for
+/// `instrs` measured instructions (after the app's warmup budget).
+pub fn run_single_app(
+    kind: SchemeKind,
+    app: &str,
+    classification: Classification,
+    instrs: u64,
+) -> RunSummary {
+    run_single_app_with(kind, app, classification, instrs, four_core_config())
+}
+
+/// Runs one app alone with its default budget (warmup + measurement).
+pub fn run_single_app_budgeted(
+    kind: SchemeKind,
+    app: &str,
+    classification: Classification,
+) -> RunSummary {
+    let (_, measure) = run_budget(app);
+    run_single_app_with(kind, app, classification, measure, four_core_config())
+}
+
+/// [`run_single_app`] with an explicit system configuration.
+pub fn run_single_app_with(
+    kind: SchemeKind,
+    app: &str,
+    classification: Classification,
+    instrs: u64,
+    sys: SystemConfig,
+) -> RunSummary {
+    let model = AppModel::new(registry::spec(app));
+    let pools = descriptors_for(&model, app, classification);
+    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
+    sim.attach(CoreId(0), model.bundle(pools));
+    let (warmup, _) = run_budget(app);
+    sim.run_with_warmup(warmup, instrs)
+}
+
+/// Runs a multi-program mix (one app per core, fixed-work, Appendix A).
+/// Whirlpool cores get the manual classification; other schemes ignore it.
+pub fn run_mix(kind: SchemeKind, apps: &[&str], instrs: u64, sys: SystemConfig) -> RunSummary {
+    assert!(apps.len() <= sys.floorplan.num_cores());
+    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
+    for (i, app) in apps.iter().enumerate() {
+        // Disjoint address spaces per process (1 TB apart).
+        let model = AppModel::new_with_base(registry::spec(app), (i as u64 + 1) << 28);
+        let pools = if kind.uses_pools() {
+            model.descriptors_manual()
+        } else {
+            Vec::new()
+        };
+        let trace = model.trace_seeded(0xC0FE + i as u64);
+        let bundle = wp_sim::WorkloadBundle {
+            trace: Box::new(trace),
+            pools,
+            name: format!("{app}.core{i}"),
+        };
+        sim.attach(CoreId(i as u16), bundle);
+    }
+    // Shared warmup: enough for the mix's caches and monitors to settle.
+    sim.run_with_warmup(6_000_000, instrs)
+}
+
+/// Result of a parallel-app run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// The simulation summary.
+    pub summary: RunSummary,
+    /// The task schedule that produced it.
+    pub schedule: Schedule,
+}
+
+/// Runs a parallel app on the 16-core chip under a scheme and scheduling
+/// policy — the four Fig. 13 configurations are
+/// `(SNucaLru, WorkStealing)`, `(Jigsaw, WorkStealing)`,
+/// `(Jigsaw, Paws)`, and `(Whirlpool, Paws)`.
+pub fn run_parallel(kind: SchemeKind, spec: ParallelSpec, policy: SchedPolicy) -> ParallelRun {
+    let sys = sixteen_core_config();
+    let cores = sys.floorplan.num_cores();
+    let app = Arc::new(ParallelApp::new(spec));
+    let sched = schedule(&app, cores, policy, 0xBEEF);
+    let classification = if kind.uses_pools() {
+        ParallelClassification::PerPartition
+    } else {
+        ParallelClassification::None
+    };
+    let bundles = core_workloads(&app, &sched, classification);
+    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
+    for (c, b) in bundles.into_iter().enumerate() {
+        sim.attach(CoreId(c as u16), b);
+    }
+    // Traces are finite; run to exhaustion.
+    let summary = sim.run(u64::MAX);
+    ParallelRun {
+        summary,
+        schedule: sched,
+    }
+}
+
+/// Execution-time proxy for a single-app run: core 0's cycles.
+pub fn exec_cycles(s: &RunSummary) -> f64 {
+    s.cores[0].cycles
+}
+
+/// Execution-time proxy for a parallel run: the slowest core (makespan).
+pub fn makespan_cycles(s: &RunSummary) -> f64 {
+    s.cores.iter().map(|c| c.cycles).fold(0.0, f64::max)
+}
+
+/// Speedup of `new` over `base` in percent (positive = faster).
+pub fn speedup_pct(base_cycles: f64, new_cycles: f64) -> f64 {
+    (base_cycles / new_cycles - 1.0) * 100.0
+}
+
+/// Renders a bank-occupancy map as an ASCII chip diagram (Figs. 3–5):
+/// each tile shows the label of its dominant owner.
+pub fn render_occupancy(sys: &SystemConfig, occupancy: &[(usize, String, f64)]) -> String {
+    let mesh = sys.floorplan.mesh();
+    let mut owner: Vec<(String, f64)> = vec![(String::from("."), 0.0); mesh.tiles()];
+    for (bank, label, frac) in occupancy {
+        if *frac > owner[*bank].1 {
+            owner[*bank] = (label.clone(), *frac);
+        }
+    }
+    let width = owner
+        .iter()
+        .map(|(l, _)| l.len().min(9))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut s = String::new();
+    for y in 0..mesh.height() {
+        for x in 0..mesh.width() {
+            let idx = mesh.index_of(wp_noc::Coord::new(x, y));
+            let (label, frac) = &owner[idx];
+            let cell = if *frac == 0.0 {
+                "-".to_string()
+            } else {
+                label.chars().take(9).collect()
+            };
+            s.push_str(&format!("{cell:>w$} ", w = width));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_instantiate() {
+        let sys = four_core_config();
+        for kind in SchemeKind::FIG10 {
+            let s = make_scheme(kind, &sys);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_app_run_produces_stats() {
+        let out = run_single_app(
+            SchemeKind::SNucaLru,
+            "delaunay",
+            Classification::None,
+            500_000,
+        );
+        // Fixed-work freezes at the first event crossing the target, so a
+        // single gap of overshoot is expected.
+        assert!(out.cores[0].instructions >= 500_000);
+        assert!(out.cores[0].instructions < 501_000);
+        assert!(out.cores[0].llc_apki() > 10.0);
+        assert!(out.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn whirlpool_gets_manual_pools() {
+        let out = run_single_app(
+            SchemeKind::Whirlpool,
+            "delaunay",
+            Classification::Manual,
+            500_000,
+        );
+        assert_eq!(out.scheme, "Whirlpool");
+        assert!(out.cores[0].llc_accesses > 0);
+    }
+
+    #[test]
+    fn whirltool_classification_runs() {
+        let assignment = classify_with_whirltool("delaunay", 3, true);
+        assert!(!assignment.is_empty());
+        let clusters: std::collections::HashSet<usize> =
+            assignment.values().copied().collect();
+        assert!(clusters.len() <= 3);
+    }
+
+    #[test]
+    fn occupancy_render_has_grid_shape() {
+        let sys = four_core_config();
+        let occ = vec![(0usize, "points".to_string(), 0.5)];
+        let s = render_occupancy(&sys, &occ);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("points"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup_pct(120.0, 100.0) - 20.0).abs() < 1e-9);
+        assert!(speedup_pct(100.0, 120.0) < 0.0);
+    }
+}

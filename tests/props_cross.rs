@@ -1,0 +1,130 @@
+//! Cross-crate property tests: system invariants under randomized access
+//! streams and reconfiguration sequences.
+
+use proptest::prelude::*;
+use wp_jigsaw::{NucaConfig, NucaRuntime, Vtb};
+use wp_mem::LineAddr;
+use wp_noc::{BankId, CoreId};
+use wp_sim::{AccessContext, LlcOutcome, LlcScheme, SystemConfig, Uncore};
+
+fn sys() -> SystemConfig {
+    let mut s = SystemConfig::four_core();
+    s.reconfig_interval_cycles = 200_000;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every access is served exactly once (hit, miss, or bypass), from
+    /// any interleaving of cores, lines, and reconfigurations.
+    #[test]
+    fn accesses_always_served(
+        ops in proptest::collection::vec((0u16..4, 0u64..20_000, proptest::bool::weighted(0.01)), 200..800)
+    ) {
+        let s = sys();
+        let mut rt = NucaRuntime::new(s.clone(), NucaConfig::for_system(&s, false, true), "J");
+        let mut u = Uncore::new(s);
+        for c in 0..4 {
+            rt.attach_core(CoreId(c), &[]);
+        }
+        let (mut hits, mut misses, mut bypasses) = (0u64, 0u64, 0u64);
+        let mut instrs = 0u64;
+        for (core, line, reconfig) in ops {
+            if reconfig {
+                u.interval_instructions[core as usize] = instrs.max(1);
+                rt.reconfigure(&mut u);
+                instrs = 0;
+                continue;
+            }
+            instrs += 20;
+            let r = rt.access(
+                AccessContext { core: CoreId(core), line: LineAddr(line), is_write: false },
+                &mut u,
+            );
+            match r.outcome {
+                LlcOutcome::Hit => hits += 1,
+                LlcOutcome::Miss => misses += 1,
+                LlcOutcome::Bypass => bypasses += 1,
+            }
+            prop_assert!(r.latency > 0.0, "every access costs time");
+        }
+        // Per-VC counters agree with the outcome totals.
+        let vc_total: u64 = rt.vcs().iter().map(|v| v.hits + v.misses + v.bypasses).sum();
+        prop_assert_eq!(vc_total, hits + misses + bypasses);
+    }
+
+    /// After any sequence of rebalances, a VTB stays proportional to its
+    /// latest shares and never returns a zero-share bank.
+    #[test]
+    fn vtb_rebalance_invariants(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(0u64..100, 3), 1..12)
+    ) {
+        let mut vtb = Vtb::degenerate(BankId(0));
+        let mut last: Option<Vec<(BankId, u64)>> = None;
+        for shares in steps {
+            let shares: Vec<(BankId, u64)> = shares
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (BankId(i as u16), s))
+                .collect();
+            if shares.iter().all(|&(_, s)| s == 0) {
+                continue;
+            }
+            vtb.rebalance(&shares);
+            last = Some(shares);
+        }
+        if let Some(shares) = last {
+            let total: u64 = shares.iter().map(|&(_, s)| s).sum();
+            for &(bank, s) in &shares {
+                let frac = vtb.share_of(bank);
+                let expect = s as f64 / total as f64;
+                prop_assert!(
+                    (frac - expect).abs() < 0.05,
+                    "bank {bank:?}: got {frac}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    /// Bank quotas never exceed the bank budget regardless of how
+    /// reconfiguration shuffles VCs (conservation of capacity).
+    #[test]
+    fn quotas_conserve_capacity(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0u64..60_000, 30..120), 2..5)
+    ) {
+        let s = sys();
+        let lines_per_bank = s.lines_per_bank() as usize;
+        let mut rt = NucaRuntime::new(s.clone(), NucaConfig::for_system(&s, false, true), "J");
+        let mut u = Uncore::new(s);
+        rt.attach_core(CoreId(0), &[]);
+        rt.attach_core(CoreId(2), &[]);
+        for (ri, round) in rounds.iter().enumerate() {
+            for (i, &line) in round.iter().enumerate() {
+                let core = if i % 3 == 0 { 2 } else { 0 };
+                rt.access(
+                    AccessContext { core: CoreId(core), line: LineAddr(line), is_write: false },
+                    &mut u,
+                );
+            }
+            u.interval_instructions[0] = 1 + 50 * round.len() as u64;
+            u.interval_instructions[2] = 1 + 20 * round.len() as u64;
+            rt.reconfigure(&mut u);
+            // Invariant: per-VC shares within each bank sum <= bank size.
+            let mut per_bank = std::collections::HashMap::new();
+            for vc in rt.vcs() {
+                for &(b, l) in &vc.shares {
+                    *per_bank.entry(b).or_insert(0u64) += l;
+                }
+            }
+            for (b, total) in per_bank {
+                prop_assert!(
+                    total as usize <= lines_per_bank,
+                    "round {ri}: bank {b:?} oversubscribed ({total})"
+                );
+            }
+        }
+    }
+}
