@@ -14,9 +14,9 @@
 use wp_mrc::FastMap;
 
 use wp_cache::{AccessOutcome, LruPolicy, SetAssocCache};
-use wp_mem::PageId;
 #[cfg(test)]
 use wp_mem::LineAddr;
+use wp_mem::PageId;
 use wp_noc::{BankId, CoreId};
 use wp_sim::{
     AccessContext, LlcOutcome, LlcResponse, LlcScheme, PoolDescriptor, SystemConfig, Uncore,
@@ -72,9 +72,7 @@ impl AwasthiScheme {
         Self {
             params,
             banks: (0..num_banks)
-                .map(|_| {
-                    SetAssocCache::with_capacity_bytes(sys.bank_bytes, 16, LruPolicy::new())
-                })
+                .map(|_| SetAssocCache::with_capacity_bytes(sys.bank_bytes, 16, LruPolicy::new()))
                 .collect(),
             page_bank: FastMap::default(),
             bank_pages: vec![0; num_banks],
@@ -221,8 +219,10 @@ mod tests {
         for l in (0..64_000u64).step_by(64) {
             s.access(ctx(0, l), &mut u);
         }
-        let near: std::collections::HashSet<BankId> =
-            u.plan().banks_by_distance(CoreId(0))[..4].iter().copied().collect();
+        let near: std::collections::HashSet<BankId> = u.plan().banks_by_distance(CoreId(0))[..4]
+            .iter()
+            .copied()
+            .collect();
         for (_, &b) in s.page_bank.iter() {
             assert!(near.contains(&b), "page outside the 4-bank allocation");
         }

@@ -50,9 +50,7 @@ impl IdealSpdScheme {
                 .map(|_| SetAssocCache::with_capacity_bytes(l3_bytes, 12, LruPolicy::new()))
                 .collect(),
             l4: (0..num_banks)
-                .map(|_| {
-                    SetAssocCache::with_capacity_bytes(sys.bank_bytes, 16, LruPolicy::new())
-                })
+                .map(|_| SetAssocCache::with_capacity_bytes(sys.bank_bytes, 16, LruPolicy::new()))
                 .collect(),
             num_banks: num_banks as u64,
         }
@@ -79,12 +77,10 @@ impl LlcScheme for IdealSpdScheme {
         let near_bank = uncore.plan().banks_by_distance(ctx.core)[0];
         // 1. Private L3 (the 3 replicated nearby banks).
         match self.l3[core_idx].access(ctx.line.0) {
-            AccessOutcome::Hit => {
-                return LlcResponse {
-                    latency: uncore.bank_hit(ctx.core, near_bank),
-                    outcome: LlcOutcome::Hit,
-                };
-            }
+            AccessOutcome::Hit => LlcResponse {
+                latency: uncore.bank_hit(ctx.core, near_bank),
+                outcome: LlcOutcome::Hit,
+            },
             AccessOutcome::Miss { evicted } => {
                 // The L3 check happened and missed: pay the lookup.
                 let l3_lookup = uncore.bank_lookup_miss(ctx.core, near_bank);

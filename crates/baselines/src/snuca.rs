@@ -64,15 +64,13 @@ impl SNucaScheme {
                     ways,
                     LruPolicy::new(),
                 )),
-                SnucaReplacement::Drrip => BankCache::Drrip(SetAssocCache::with_capacity_bytes(
-                    sys.bank_bytes,
-                    ways,
-                    {
+                SnucaReplacement::Drrip => {
+                    BankCache::Drrip(SetAssocCache::with_capacity_bytes(sys.bank_bytes, ways, {
                         let mut p = DrripPolicy::new(2);
                         p.configure(1, 1); // re-configured by the cache ctor
                         p
-                    },
-                )),
+                    }))
+                }
             })
             .collect();
         let label = match replacement {

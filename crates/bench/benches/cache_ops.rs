@@ -1,7 +1,9 @@
 //! Criterion microbenchmarks for the cache structures on the access path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use wp_cache::{LruCache, LruPolicy, MonitorConfig, PartitionedCache, SetAssocCache, UtilityMonitor};
+use wp_cache::{
+    LruCache, LruPolicy, MonitorConfig, PartitionedCache, SetAssocCache, UtilityMonitor,
+};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("lru_cache_access", |b| {

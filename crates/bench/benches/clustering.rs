@@ -11,7 +11,7 @@ fn synthetic_profile(callpoints: usize, intervals: usize) -> ProfileData {
     let curve = |seed: usize| {
         MissCurve::new(
             (0..201)
-                .map(|i| 30.0 * (0.9 + 0.005 * (seed % 10) as f64).powi(i as i32))
+                .map(|i| 30.0 * (0.9 + 0.005 * (seed % 10) as f64).powi(i))
                 .collect(),
             1024,
         )

@@ -2,11 +2,11 @@
 //! second of wall time for a Whirlpool-managed run of dt.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use whirlpool::WhirlpoolScheme;
+use whirlpool_repro::harness::four_core_config;
 use wp_noc::CoreId;
 use wp_sim::MultiCoreSim;
 use wp_workloads::{registry, AppModel};
-use whirlpool::WhirlpoolScheme;
-use whirlpool_repro::harness::four_core_config;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");

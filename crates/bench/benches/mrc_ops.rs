@@ -2,7 +2,9 @@
 //! stack throughput, curve combining (Appendix B), hulls, partitioning.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use wp_mrc::{combine_miss_curves, convex_hull, partition_capacity, MattsonStack, MissCurve, SampledStack};
+use wp_mrc::{
+    combine_miss_curves, convex_hull, partition_capacity, MattsonStack, MissCurve, SampledStack,
+};
 
 fn geometric(apki: f64, ratio: f64, n: usize) -> MissCurve {
     MissCurve::new((0..n).map(|i| apki * ratio.powi(i as i32)).collect(), 1024)
@@ -30,8 +32,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("combine_miss_curves_201pt", |b| {
         b.iter(|| black_box(combine_miss_curves(&a, &bb)))
     });
-    c.bench_function("convex_hull_201pt", |b| b.iter(|| black_box(convex_hull(&a))));
-    let curves: Vec<MissCurve> = (0..8).map(|i| geometric(30.0, 0.9 + 0.01 * i as f64, 201)).collect();
+    c.bench_function("convex_hull_201pt", |b| {
+        b.iter(|| black_box(convex_hull(&a)))
+    });
+    let curves: Vec<MissCurve> = (0..8)
+        .map(|i| geometric(30.0, 0.9 + 0.01 * i as f64, 201))
+        .collect();
     c.bench_function("partition_8vcs_200granules", |b| {
         b.iter(|| black_box(partition_capacity(&curves, 200)))
     });

@@ -9,7 +9,7 @@ use wp_noc::{CoreId, Floorplan};
 fn bench(c: &mut Criterion) {
     let plan = Floorplan::four_core();
     let curve = |apki: f64, ratio: f64| {
-        MissCurve::new((0..201).map(|i| apki * ratio.powi(i as i32)).collect(), 1024)
+        MissCurve::new((0..201).map(|i| apki * ratio.powi(i)).collect(), 1024)
     };
     let inputs: Vec<SizingInput> = (0..8)
         .map(|i| SizingInput {

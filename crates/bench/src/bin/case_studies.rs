@@ -5,7 +5,10 @@ use whirlpool_repro::harness::*;
 
 fn main() {
     for app in std::env::args().nth(1).map(|a| vec![a]).unwrap_or_else(|| {
-        ["delaunay", "MIS", "cactus", "SA", "lbm", "refine"].iter().map(|s| s.to_string()).collect()
+        ["delaunay", "MIS", "cactus", "SA", "lbm", "refine"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }) {
         let (warm, measure) = run_budget(&app);
         let snuca = run_single_app_budgeted(SchemeKind::SNucaLru, &app, Classification::None);

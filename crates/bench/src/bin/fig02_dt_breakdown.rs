@@ -12,7 +12,11 @@ fn main() {
     let descs = model.descriptors_manual();
     println!("Fig 2a — dt working set (paper: 0.5 / 1.5 / 4 MB):");
     for d in &descs {
-        println!("  {:<10} {:>6.2} MB", d.name, d.bytes as f64 / (1024.0 * 1024.0));
+        println!(
+            "  {:<10} {:>6.2} MB",
+            d.name,
+            d.bytes as f64 / (1024.0 * 1024.0)
+        );
     }
     // Measure per-pool APKI from the trace.
     let mut page_pool = wp_mrc::FastMap::default();

@@ -2,11 +2,11 @@
 //! the headline dt numbers (paper: Whirlpool +19% vs S-NUCA, +15% vs
 //! Jigsaw; data-movement energy −42% vs S-NUCA, −27% vs Jigsaw).
 
+use whirlpool_repro::harness::*;
 use wp_bench::{classification_for, measure_budget};
 use wp_noc::CoreId;
 use wp_sim::{LlcScheme, MultiCoreSim};
 use wp_workloads::{registry, AppModel};
-use whirlpool_repro::harness::*;
 
 fn run_and_map(kind: SchemeKind) -> (f64, f64, Vec<(usize, String, f64)>) {
     let sys = four_core_config();
@@ -26,7 +26,11 @@ fn run_and_map(kind: SchemeKind) -> (f64, f64, Vec<(usize, String, f64)>) {
 fn main() {
     let sys = four_core_config();
     let mut results = Vec::new();
-    for kind in [SchemeKind::SNucaLru, SchemeKind::Jigsaw, SchemeKind::Whirlpool] {
+    for kind in [
+        SchemeKind::SNucaLru,
+        SchemeKind::Jigsaw,
+        SchemeKind::Whirlpool,
+    ] {
         let (cycles, energy, occ) = run_and_map(kind);
         println!("=== {} ===", kind.label());
         println!("{}", render_occupancy(&sys, &occ));

@@ -1,11 +1,11 @@
 //! Fig. 8: dt's per-pool miss-rate curves and total-latency curves —
 //! the inputs to Jigsaw/Whirlpool's sizing step.
 
+use whirlpool_repro::harness::four_core_config;
 use wp_mrc::{LatencyCurve, MattsonStack, MissCurve};
 use wp_noc::{CoreId, NearestBanksLatency};
 use wp_sim::Workload;
 use wp_workloads::{registry, AppModel};
-use whirlpool_repro::harness::four_core_config;
 
 fn main() {
     let sys = four_core_config();
@@ -74,7 +74,8 @@ fn main() {
         println!();
         println!(
             "{:>10}  latency-optimal size: {:.1} MB (the paper sizes each VC at this knee)",
-            "", lc.argmin() as f64 * 64.0 / 1024.0
+            "",
+            lc.argmin() as f64 * 64.0 / 1024.0
         );
     }
 }

@@ -2,11 +2,11 @@
 //! edges stream, and with bypassing modelled (zero access latency at size
 //! zero) the partitioning algorithm bypasses edges by itself.
 
+use whirlpool_repro::harness::four_core_config;
 use wp_mrc::{LatencyCurve, MissCurve, SampledStack};
 use wp_noc::{CoreId, NearestBanksLatency};
 use wp_sim::Workload;
 use wp_workloads::{registry, AppModel};
-use whirlpool_repro::harness::four_core_config;
 
 fn main() {
     let sys = four_core_config();

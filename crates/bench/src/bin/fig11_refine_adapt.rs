@@ -1,12 +1,12 @@
 //! Fig. 11: refine's irregular phase changes and how Whirlpool adapts its
 //! allocations over time (the Fig. 11a allocation trace).
 
+use whirlpool::WhirlpoolScheme;
+use whirlpool_repro::harness::*;
 use wp_bench::measure_budget;
 use wp_noc::CoreId;
 use wp_sim::MultiCoreSim;
 use wp_workloads::{registry, AppModel};
-use whirlpool::WhirlpoolScheme;
-use whirlpool_repro::harness::*;
 
 fn main() {
     let sys = four_core_config();

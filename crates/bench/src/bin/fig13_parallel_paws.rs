@@ -1,10 +1,10 @@
 //! Fig. 13: the six parallel apps under S-NUCA, Jigsaw, Jigsaw+PaWS, and
 //! Whirlpool+PaWS on the 16-core chip.
 
+use whirlpool_repro::harness::*;
 use wp_bench::print_normalized;
 use wp_paws::SchedPolicy;
 use wp_workloads::parallel::parallel_apps;
-use whirlpool_repro::harness::*;
 
 fn main() {
     let configs = [

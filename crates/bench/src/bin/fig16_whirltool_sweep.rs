@@ -1,10 +1,10 @@
 //! Fig. 16: WhirlTool speedup over Jigsaw with 2/3/4 pools across all 31
 //! apps, with the manual-classification result where one exists (Table 2).
 
-use wp_bench::measure_budget;
-use wp_workloads::registry;
 use whirlpool::manual;
 use whirlpool_repro::harness::*;
+use wp_bench::measure_budget;
+use wp_workloads::registry;
 
 fn main() {
     println!("Fig 16 — WhirlTool speedup over Jigsaw (%), profiled on train inputs.");

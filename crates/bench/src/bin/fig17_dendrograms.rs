@@ -19,9 +19,7 @@ fn dendrogram(app: &str) {
         .callpoints()
         .iter()
         .enumerate()
-        .map(|(k, (cp, pool, _))| {
-            (*cp, format!("{}#{k}", model.spec().pools[*pool].name))
-        })
+        .map(|(k, (cp, pool, _))| (*cp, format!("{}#{k}", model.spec().pools[*pool].name)))
         .collect();
     let mut trace = model.trace();
     let data = profile(

@@ -1,15 +1,18 @@
 //! Fig. 18: WhirlTool's sensitivity to training inputs — the four apps
 //! where profiling on train vs ref inputs changes performance.
 
-use wp_bench::measure_budget;
 use whirlpool_repro::harness::*;
+use wp_bench::measure_budget;
 
 fn main() {
     println!("Fig 18 — WhirlTool speedup over Jigsaw (%), profiling on the train");
     println!("input vs the reference input (3 pools).");
     println!("Paper: leslie/omnet/xalanc/setCover lose a few % with train profiles;");
     println!("everything else is robust (0.4% average).\n");
-    println!("{:<10} {:>14} {:>14}", "app", "train profile", "ref profile");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "app", "train profile", "ref profile"
+    );
     for app in ["leslie", "omnet", "xalanc", "setCover", "delaunay", "mcf"] {
         let measure = measure_budget(app);
         let jig = run_single_app(SchemeKind::Jigsaw, app, Classification::None, measure);

@@ -1,9 +1,9 @@
 //! Fig. 21: overall performance, energy, and access breakdown across all
 //! 31 single-threaded benchmarks and six schemes, plus the bypass ablation.
 
+use whirlpool_repro::harness::*;
 use wp_bench::{classification_for, gmean, measure_budget, print_normalized};
 use wp_workloads::registry;
-use whirlpool_repro::harness::*;
 
 fn main() {
     let schemes = [
@@ -50,7 +50,11 @@ fn main() {
             .zip(&cycles[5])
             .map(|(&c, &w)| c / w)
             .collect();
-        println!("  {:<20} {:>6.1}%", kind.label(), (gmean(&ratios) - 1.0) * 100.0);
+        println!(
+            "  {:<20} {:>6.1}%",
+            kind.label(),
+            (gmean(&ratios) - 1.0) * 100.0
+        );
     }
     // Energy normalized to Whirlpool.
     let rows: Vec<(String, f64)> = {
@@ -66,7 +70,10 @@ fn main() {
     print_normalized("Gmean data-movement energy", &rows);
     // Access mix.
     println!("\nMean LLC access mix (per kilo-instruction, averaged over apps):");
-    println!("{:<20} {:>8} {:>8} {:>9}", "scheme", "hits", "misses", "bypasses");
+    println!(
+        "{:<20} {:>8} {:>8} {:>9}",
+        "scheme", "hits", "misses", "bypasses"
+    );
     let n = apps.len() as f64;
     for (i, &kind) in schemes.iter().enumerate() {
         println!(

@@ -21,7 +21,10 @@ fn main() {
     let m1 = geometric(20.0, 0.6, 33); // cache-friendly
     let m2 = geometric(18.0, 0.65, 33); // cache-friendly
     let m3 = MissCurve::flat(20.0, 33, 1024); // streaming
-    for (label, a, b) in [("m1+m2 (friendly pair)", &m1, &m2), ("m1+m3 (antagonists)", &m1, &m3)] {
+    for (label, a, b) in [
+        ("m1+m2 (friendly pair)", &m1, &m2),
+        ("m1+m3 (antagonists)", &m1, &m3),
+    ] {
         let comb = combine_miss_curves(a, b);
         let part = partitioned_curve(a, b);
         println!("\n{label}  — distance {:.2}", pool_distance(a, b, 32));

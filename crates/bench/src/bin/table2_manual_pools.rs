@@ -4,7 +4,10 @@
 use whirlpool::manual;
 
 fn main() {
-    println!("{:<26} {:>5}  {:<52} {:>4}", "Application", "Pools", "Data structures", "LOC");
+    println!(
+        "{:<26} {:>5}  {:<52} {:>4}",
+        "Application", "Pools", "Data structures", "LOC"
+    );
     for c in manual::TABLE2 {
         println!(
             "{:<26} {:>5}  {:<52} {:>4}",

@@ -3,11 +3,24 @@
 use whirlpool_repro::harness::{four_core_config, sixteen_core_config};
 
 fn main() {
-    for (name, sys) in [("4-core", four_core_config()), ("16-core", sixteen_core_config())] {
+    for (name, sys) in [
+        ("4-core", four_core_config()),
+        ("16-core", sixteen_core_config()),
+    ] {
         println!("=== {name} system ===");
         println!("cores            {}", sys.floorplan.num_cores());
-        println!("L1D              {} KB, {}-way, {}-cycle", sys.l1_bytes / 1024, sys.l1_ways, sys.l1_latency);
-        println!("L2               {} KB, {}-way, {}-cycle, private/inclusive", sys.l2_bytes / 1024, sys.l2_ways, sys.l2_latency);
+        println!(
+            "L1D              {} KB, {}-way, {}-cycle",
+            sys.l1_bytes / 1024,
+            sys.l1_ways,
+            sys.l1_latency
+        );
+        println!(
+            "L2               {} KB, {}-way, {}-cycle, private/inclusive",
+            sys.l2_bytes / 1024,
+            sys.l2_ways,
+            sys.l2_latency
+        );
         println!(
             "L3 (NUCA)        {} banks x {} KB = {:.1} MB, {}-cycle banks",
             sys.floorplan.num_banks(),

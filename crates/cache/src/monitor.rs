@@ -140,7 +140,11 @@ mod tests {
         let c = m.rollover(16_000);
         // Below 4 granules: ~100 MPKI (all miss); at >= 4 granules only the
         // 16 cold misses remain (~1 MPKI).
-        assert!(c.mpki_at(3) > 50.0, "below WS should miss: {}", c.mpki_at(3));
+        assert!(
+            c.mpki_at(3) > 50.0,
+            "below WS should miss: {}",
+            c.mpki_at(3)
+        );
         assert!(c.mpki_at(4) < 2.0, "at WS should hit: {}", c.mpki_at(4));
     }
 

@@ -44,10 +44,7 @@ impl PartitionedCache {
     /// Sets partition `id`'s quota to `lines`, creating it if absent.
     /// Returns lines evicted if the partition shrank.
     pub fn set_quota(&mut self, id: u32, lines: usize) -> Vec<u64> {
-        let part = self
-            .parts
-            .entry(id)
-            .or_insert_with(|| LruCache::new(lines));
+        let part = self.parts.entry(id).or_insert_with(|| LruCache::new(lines));
         let evicted = part.resize(lines);
         debug_assert!(
             self.assigned_capacity() <= self.total_capacity,
@@ -91,9 +88,7 @@ impl PartitionedCache {
 
     /// Invalidates `addr` in partition `id`.
     pub fn invalidate(&mut self, id: u32, addr: u64) -> bool {
-        self.parts
-            .get_mut(&id)
-            .is_some_and(|p| p.invalidate(addr))
+        self.parts.get_mut(&id).is_some_and(|p| p.invalidate(addr))
     }
 
     /// Removes partition `id` entirely, returning its resident lines

@@ -77,7 +77,9 @@ mod tests {
         PoolDescriptor {
             name: name.into(),
             pool: Some(PoolId(id)),
-            pages: (first_page..first_page + pages).map(wp_mem::PageId).collect(),
+            pages: (first_page..first_page + pages)
+                .map(wp_mem::PageId)
+                .collect(),
             bytes: pages * 4096,
         }
     }
@@ -110,7 +112,10 @@ mod tests {
         // vertices: 1 MB = 256 pages at page 1000; edges: big, at 10000.
         w.attach_core(
             CoreId(0),
-            &[pool("vertices", 1, 1000, 256), pool("edges", 2, 10_000, 4096)],
+            &[
+                pool("vertices", 1, 1000, 256),
+                pool("edges", 2, 10_000, 4096),
+            ],
         );
         let vline = |i: u64| 1000 * 64 + (i % 16_384); // within vertices pages
         let eline = |i: u64| 10_000 * 64 + i; // streaming through edges

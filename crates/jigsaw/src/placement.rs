@@ -44,8 +44,9 @@ impl PlacementResult {
         for (vc, input) in inputs.iter().enumerate() {
             for (bank, &g) in self.assignments[vc].iter().enumerate() {
                 if g > 0 {
-                    let hops =
-                        plan.mesh().hops(input.center, plan.bank_coord(BankId(bank as u16)));
+                    let hops = plan
+                        .mesh()
+                        .hops(input.center, plan.bank_coord(BankId(bank as u16)));
                     total += input.intensity * g as f64 * hops as f64;
                 }
             }
@@ -294,8 +295,7 @@ mod tests {
             let mut den = 0.0;
             for (b, &g) in r.assignments[vc].iter().enumerate() {
                 if g > 0 {
-                    num += g as f64
-                        * p.mesh().hops(c0, p.bank_coord(BankId(b as u16))) as f64;
+                    num += g as f64 * p.mesh().hops(c0, p.bank_coord(BankId(b as u16))) as f64;
                     den += g as f64;
                 }
             }

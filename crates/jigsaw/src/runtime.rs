@@ -56,6 +56,10 @@ impl NucaConfig {
     }
 }
 
+/// One reconfiguration's per-VC allocation rows:
+/// `(label, granules, bypassed)` for every live VC (Fig. 11a).
+pub type VcAllocations = Vec<(String, usize, bool)>;
+
 /// The shared Jigsaw/Whirlpool runtime. Implements [`LlcScheme`].
 pub struct NucaRuntime {
     sys: SystemConfig,
@@ -78,7 +82,7 @@ pub struct NucaRuntime {
     reconfigurations: u64,
     /// `(cycle, per-VC (label, granules, bypassed))` at each
     /// reconfiguration — the allocation trace of Fig. 11a.
-    history: Vec<(u64, Vec<(String, usize, bool)>)>,
+    history: Vec<(u64, VcAllocations)>,
 }
 
 impl std::fmt::Debug for NucaRuntime {
@@ -134,7 +138,7 @@ impl NucaRuntime {
 
     /// The allocation trace hook: granules currently allocated per VC,
     /// labelled (drives Fig. 11a).
-    pub fn allocations(&self) -> Vec<(String, usize, bool)> {
+    pub fn allocations(&self) -> VcAllocations {
         self.vcs
             .iter()
             .map(|v| (v.label(), v.allocated_granules, v.bypassed))
@@ -143,7 +147,7 @@ impl NucaRuntime {
 
     /// The allocation decisions of every reconfiguration so far:
     /// `(cycle, per-VC (label, granules, bypassed))` — Fig. 11a's trace.
-    pub fn reconfig_history(&self) -> &[(u64, Vec<(String, usize, bool)>)] {
+    pub fn reconfig_history(&self) -> &[(u64, VcAllocations)] {
         &self.history
     }
 
@@ -215,7 +219,11 @@ impl NucaRuntime {
                 intensity: 1.0,
             })
             .collect();
-        let placement = place_and_trade(&inputs, &self.sys.floorplan, self.sys.granules_per_bank() as u32);
+        let placement = place_and_trade(
+            &inputs,
+            &self.sys.floorplan,
+            self.sys.granules_per_bank() as u32,
+        );
         for (slot, &i) in live.iter().enumerate() {
             self.vcs[i].allocated_granules = share;
             self.apply_shares(i, placement.shares_of(slot), uncore);
@@ -388,8 +396,8 @@ impl LlcScheme for NucaRuntime {
             for (i, vc) in self.vcs.iter().enumerate() {
                 let old = vc.allocated_granules as f64;
                 let new = sizing.granules[i] as f64;
-                let stable = sizing.bypassed[i] == vc.bypassed
-                    && (new - old).abs() <= (0.05 * old).max(1.0);
+                let stable =
+                    sizing.bypassed[i] == vc.bypassed && (new - old).abs() <= (0.05 * old).max(1.0);
                 if stable {
                     sizing.granules[i] = vc.allocated_granules;
                     sizing.bypassed[i] = vc.bypassed;
@@ -644,7 +652,7 @@ mod tests {
         let thread_vc = rt.thread_vc[0].unwrap() as usize;
         let alloc = rt.vcs[thread_vc].allocated_granules;
         assert!(
-            alloc >= 12 && alloc <= 40,
+            (12..=40).contains(&alloc),
             "thread VC should get ~its 16-granule working set, got {alloc}"
         );
         // Warm the new placement (the reconfiguration moved lines to

@@ -169,8 +169,7 @@ impl Heap {
         // Reserve new pages if the current extent cannot fit the request.
         let arena = self.pools.entry(pool).or_default();
         if arena.end - arena.bump < size_aligned {
-            let pages_needed =
-                ((size_aligned + PAGE_BYTES - 1) / PAGE_BYTES).max(EXTENT_PAGES);
+            let pages_needed = size_aligned.div_ceil(PAGE_BYTES).max(EXTENT_PAGES);
             let first = self.next_page;
             self.next_page += pages_needed;
             let arena = self.pools.get_mut(&pool).expect("just inserted");

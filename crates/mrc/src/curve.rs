@@ -68,7 +68,7 @@ impl MissCurve {
         assert!(instructions > 0, "cannot normalize by zero instructions");
         let granule_lines = granule_lines.max(1);
         let max_dist = hist.max_distance();
-        let num_granules = (max_dist + granule_lines - 1) / granule_lines;
+        let num_granules = max_dist.div_ceil(granule_lines);
         let per_ki = 1000.0 / instructions as f64;
         // Misses at capacity c = accesses with stack distance > c lines,
         // plus all cold (infinite-distance) accesses.
@@ -159,7 +159,7 @@ impl MissCurve {
             return self.clone();
         }
         let max_lines = (self.points.len() - 1) as u64 * self.granule_lines;
-        let num_new = (max_lines + new_granule_lines - 1) / new_granule_lines;
+        let num_new = max_lines.div_ceil(new_granule_lines);
         let mut points = Vec::with_capacity(num_new as usize + 1);
         for g in 0..=num_new {
             let lines = g * new_granule_lines;
@@ -192,9 +192,7 @@ impl MissCurve {
             "granule mismatch in curve addition"
         );
         let n = self.points.len().max(other.points.len());
-        let points = (0..n)
-            .map(|i| self.mpki_at(i) + other.mpki_at(i))
-            .collect();
+        let points = (0..n).map(|i| self.mpki_at(i) + other.mpki_at(i)).collect();
         Self::new(points, self.granule_lines)
     }
 

@@ -94,10 +94,7 @@ impl StackDistanceHistogram {
     /// Number of accesses that would hit in a cache of `capacity_lines`
     /// lines (finite distances ≤ capacity).
     pub fn hits_at(&self, capacity_lines: u64) -> u64 {
-        self.finite
-            .range(..=capacity_lines)
-            .map(|(_, &c)| c)
-            .sum()
+        self.finite.range(..=capacity_lines).map(|(_, &c)| c).sum()
     }
 
     /// Number of accesses that would miss in a cache of `capacity_lines`.

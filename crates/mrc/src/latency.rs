@@ -73,8 +73,7 @@ impl LatencyCurve {
             } else {
                 lat.access_latency(s)
             };
-            let cpi =
-                (apki * access_lat + misses.mpki_at(s) * miss_penalty) / 1000.0;
+            let cpi = (apki * access_lat + misses.mpki_at(s) * miss_penalty) / 1000.0;
             points.push(cpi);
         }
         Self {
@@ -178,7 +177,10 @@ mod tests {
         let grow = |g: usize| 10.0 + 4.0 * g as f64;
         let lc = LatencyCurve::build(&m, 50.0, &grow, 120.0, false);
         let opt = lc.argmin();
-        assert!(opt >= 2 && opt <= 4, "optimum {opt} should sit at the knee");
+        assert!(
+            (2..=4).contains(&opt),
+            "optimum {opt} should sit at the knee"
+        );
         assert!(lc.cpi_at(opt) < lc.cpi_at(6));
     }
 

@@ -41,17 +41,17 @@
 #![warn(missing_docs)]
 
 mod combine;
-pub mod fxmap;
 mod curve;
+pub mod fxmap;
 mod histogram;
 mod hull;
 mod latency;
 mod mattson;
 mod partition;
 
-pub use combine::{combine_miss_curves, combine_many};
-pub use fxmap::{FastMap, FastSet};
+pub use combine::{combine_many, combine_miss_curves};
 pub use curve::MissCurve;
+pub use fxmap::{FastMap, FastSet};
 pub use histogram::StackDistanceHistogram;
 pub use hull::{convex_hull, convex_hull_points, hull_to_points, HullPoint};
 pub use latency::{AccessLatencyModel, LatencyCurve, UniformLatency};

@@ -168,8 +168,7 @@ impl MattsonStack {
         if self.time < (1 << 16) || self.time < SLACK * self.live.max(1) {
             return;
         }
-        let mut entries: Vec<(u64, usize)> =
-            self.last_time.iter().map(|(&a, &t)| (a, t)).collect();
+        let mut entries: Vec<(u64, usize)> = self.last_time.iter().map(|(&a, &t)| (a, t)).collect();
         entries.sort_by_key(|&(_, t)| t);
         let n = entries.len();
         self.present = Fenwick::with_capacity((n + 1).max(1 << 12));

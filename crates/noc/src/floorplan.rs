@@ -212,7 +212,8 @@ impl Floorplan {
         let mut sum_latency = 0.0f64;
         let mut granules = 0usize;
         let lat = |b: BankId| {
-            self.params.round_trip_latency(self.mesh.hops(center, self.bank_coord(b))) as f64
+            self.params
+                .round_trip_latency(self.mesh.hops(center, self.bank_coord(b))) as f64
                 + bank_cycles as f64
         };
         out.push(lat(banks[0]));
@@ -310,8 +311,7 @@ mod tests {
     #[test]
     fn latency_curve_is_non_decreasing() {
         let p = Floorplan::four_core();
-        let curve =
-            p.nearest_latency_curve(p.core_coord(CoreId(0)), 8, 9, 8 * 25 + 10);
+        let curve = p.nearest_latency_curve(p.core_coord(CoreId(0)), 8, 9, 8 * 25 + 10);
         for w in curve.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "avg latency must grow with size");
         }

@@ -176,9 +176,7 @@ pub fn schedule(app: &ParallelApp, cores: usize, policy: SchedPolicy, seed: u64)
         }
         // Round barrier.
         let bar = *time.iter().max().expect("cores > 0");
-        for t in &mut time {
-            *t = bar;
-        }
+        time.fill(bar);
     }
     Schedule {
         executions,

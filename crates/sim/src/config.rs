@@ -116,7 +116,8 @@ impl SystemConfig {
             hops += plan.hops_core_mcu(core, mcu) as f64;
         }
         hops /= plan.num_cores() as f64;
-        self.mem_zero_load_latency as f64 + plan.params().round_trip_latency(hops.round() as u64) as f64
+        self.mem_zero_load_latency as f64
+            + plan.params().round_trip_latency(hops.round() as u64) as f64
     }
 }
 

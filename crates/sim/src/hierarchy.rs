@@ -33,8 +33,16 @@ impl PrivateHierarchy {
     /// Builds the hierarchy from the system configuration.
     pub fn new(config: &SystemConfig) -> Self {
         Self {
-            l1: SetAssocCache::with_capacity_bytes(config.l1_bytes, config.l1_ways, LruPolicy::new()),
-            l2: SetAssocCache::with_capacity_bytes(config.l2_bytes, config.l2_ways, LruPolicy::new()),
+            l1: SetAssocCache::with_capacity_bytes(
+                config.l1_bytes,
+                config.l1_ways,
+                LruPolicy::new(),
+            ),
+            l2: SetAssocCache::with_capacity_bytes(
+                config.l2_bytes,
+                config.l2_ways,
+                LruPolicy::new(),
+            ),
             l2_latency: config.l2_latency,
         }
     }

@@ -84,8 +84,7 @@ impl Uncore {
         let plan = &self.config.floorplan;
         let hops = plan.hops_core_bank(core, bank);
         let p = plan.params();
-        self.energy
-            .add_flit_hops(p.ctrl_flits * 2 * hops.max(1));
+        self.energy.add_flit_hops(p.ctrl_flits * 2 * hops.max(1));
         self.energy.add_bank_accesses(1);
         (p.round_trip_latency(hops) + self.config.bank_latency) as f64
     }
@@ -139,7 +138,8 @@ impl Uncore {
         if dirty > 0 {
             let mcu = plan.mcu_of_line(0);
             let hops = plan.hops_bank_mcu(bank, mcu);
-            self.energy.add_flit_hops(dirty * p.data_flits * hops.max(1));
+            self.energy
+                .add_flit_hops(dirty * p.data_flits * hops.max(1));
             self.energy.add_dram_accesses(dirty);
         }
     }

@@ -15,9 +15,7 @@ use crate::profiler::ProfileData;
 pub fn pool_distance(a: &MissCurve, b: &MissCurve, upto_granules: usize) -> f64 {
     let combined = combine_miss_curves(a, b);
     let part = partitioned_curve(a, b);
-    let n = upto_granules
-        .min(combined.len() - 1)
-        .min(part.len() - 1);
+    let n = upto_granules.min(combined.len() - 1).min(part.len() - 1);
     let mut area = 0.0;
     for s in 0..n {
         let gap0 = (combined.mpki_at(s) - part.mpki_at(s)).max(0.0);
@@ -58,7 +56,7 @@ impl ClusterTree {
         // Union-find over the first `n_merges - (k-1)` merges.
         let keep = self.merges.len().saturating_sub(k - 1);
         let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -198,10 +196,7 @@ mod tests {
     use super::*;
 
     fn geometric(apki: f64, ratio: f64, n: usize) -> MissCurve {
-        MissCurve::new(
-            (0..n).map(|i| apki * ratio.powi(i as i32)).collect(),
-            1024,
-        )
+        MissCurve::new((0..n).map(|i| apki * ratio.powi(i as i32)).collect(), 1024)
     }
 
     fn flat(apki: f64, n: usize) -> MissCurve {
@@ -215,9 +210,7 @@ mod tests {
             .map(|i| {
                 curves
                     .iter()
-                    .filter_map(|(id, per_iv)| {
-                        per_iv[i].clone().map(|c| (CallpointId(*id), c))
-                    })
+                    .filter_map(|(id, per_iv)| per_iv[i].clone().map(|c| (CallpointId(*id), c)))
                     .collect()
             })
             .collect();
@@ -293,9 +286,7 @@ mod tests {
         // First merge must be 1+2 (distance 0 — disjoint activity).
         assert_eq!(tree.merges[0].distance, 0.0);
         let first = &tree.merges[0];
-        assert!(
-            (first.left == 0 && first.right == 1) || (first.left == 1 && first.right == 0)
-        );
+        assert!((first.left == 0 && first.right == 1) || (first.left == 1 && first.right == 0));
     }
 
     #[test]

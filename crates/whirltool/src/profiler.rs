@@ -204,9 +204,7 @@ mod tests {
 
     #[test]
     fn unknown_pages_fall_back() {
-        let mut n = 0u64;
-        let mut t = move || {
-            n += 1;
+        let mut t = || {
             Some(TraceEvent {
                 gap_instrs: 10,
                 line: LineAddr(999_999_999),

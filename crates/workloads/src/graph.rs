@@ -155,7 +155,7 @@ pub fn partition(g: &Graph, parts: usize, seed: u64) -> Partitioning {
     // BFS-grow each partition from a random unassigned seed.
     let mut sizes = vec![0usize; parts];
     let mut queue = std::collections::VecDeque::new();
-    for p in 0..parts {
+    for (p, size) in sizes.iter_mut().enumerate() {
         // Find a seed.
         let seed_v = (0..n)
             .map(|_| rng.gen_range(0..n))
@@ -165,14 +165,14 @@ pub fn partition(g: &Graph, parts: usize, seed: u64) -> Partitioning {
         queue.clear();
         queue.push_back(sv as u32);
         while let Some(v) = queue.pop_front() {
-            if sizes[p] >= target {
+            if *size >= target {
                 break;
             }
             if assignment[v as usize] != u32::MAX {
                 continue;
             }
             assignment[v as usize] = p as u32;
-            sizes[p] += 1;
+            *size += 1;
             for &w in g.neighbors(v) {
                 if assignment[w as usize] == u32::MAX {
                     queue.push_back(w);
@@ -181,10 +181,10 @@ pub fn partition(g: &Graph, parts: usize, seed: u64) -> Partitioning {
         }
     }
     // Unreached vertices (isolated or leftovers): least-loaded partition.
-    for v in 0..n {
-        if assignment[v] == u32::MAX {
+    for a in assignment.iter_mut() {
+        if *a == u32::MAX {
             let p = (0..parts).min_by_key(|&p| sizes[p]).expect(">=1 part");
-            assignment[v] = p as u32;
+            *a = p as u32;
             sizes[p] += 1;
         }
     }
@@ -206,9 +206,7 @@ pub fn partition(g: &Graph, parts: usize, seed: u64) -> Partitioning {
                 .filter(|&(&p, _)| p as usize != cur)
                 .max_by_key(|&(_, &c)| c)
             {
-                if best_c > internal
-                    && sizes[best_p as usize] < max_size
-                    && sizes[cur] > target / 2
+                if best_c > internal && sizes[best_p as usize] < max_size && sizes[cur] > target / 2
                 {
                     assignment[v] = best_p;
                     sizes[cur] -= 1;
@@ -262,7 +260,9 @@ mod tests {
         // Random 16-way assignment cuts ~15/16 of edges.
         let mut rng = StdRng::seed_from_u64(9);
         let random = Partitioning {
-            assignment: (0..g.num_vertices).map(|_| rng.gen_range(0..16u32)).collect(),
+            assignment: (0..g.num_vertices)
+                .map(|_| rng.gen_range(0..16u32))
+                .collect(),
             parts: 16,
         };
         assert!(

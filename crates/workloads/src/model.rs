@@ -509,8 +509,7 @@ mod tests {
     fn weights_respected() {
         let m = AppModel::new(two_pool_spec());
         let d = m.descriptors_manual();
-        let small_pages: std::collections::HashSet<u64> =
-            d[0].pages.iter().map(|p| p.0).collect();
+        let small_pages: std::collections::HashSet<u64> = d[0].pages.iter().map(|p| p.0).collect();
         let mut t = m.trace();
         let mut small = 0;
         let n = 30_000;

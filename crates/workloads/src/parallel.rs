@@ -147,7 +147,11 @@ impl ParallelApp {
                 .wrapping_add(task.index as u64),
         );
         let j = self.spec.duration_jitter;
-        let scale = if j > 0.0 { 1.0 + rng.gen_range(-j..j) } else { 1.0 };
+        let scale = if j > 0.0 {
+            1.0 + rng.gen_range(-j..j)
+        } else {
+            1.0
+        };
         (self.spec.instrs_per_task as f64 * scale) as u64
     }
 
@@ -157,7 +161,8 @@ impl ParallelApp {
     pub fn task_events(&self, task: Task, core: usize) -> Vec<TraceEvent> {
         let spec = &self.spec;
         let mut rng = StdRng::seed_from_u64(
-            spec.seed ^ (task.round as u64) << 40
+            spec.seed
+                ^ (task.round as u64) << 40
                 ^ (task.home as u64) << 24
                 ^ (task.index as u64) << 8
                 ^ core as u64,
@@ -170,11 +175,7 @@ impl ParallelApp {
         };
         let instrs = self.task_instrs(task);
         let gap = (instrs / accesses.max(1)).max(1) as u32;
-        let mut pattern = PatternState::new(
-            spec.pattern,
-            self.regions[task.home].1,
-            rng.gen(),
-        );
+        let mut pattern = PatternState::new(spec.pattern, self.regions[task.home].1, rng.gen());
         let log2k = (spec.partitions as f64).log2().round() as usize;
         let mut out = Vec::with_capacity(accesses as usize);
         for _ in 0..accesses {

@@ -26,14 +26,28 @@ const KB: u64 = 1024;
 
 /// SPEC CPU2006 apps (Fig. 16 left group).
 pub const SPEC_APPS: &[&str] = &[
-    "bzip2", "gcc", "mcf", "milc", "zeus", "cactus", "leslie", "soplex", "gems", "libqntm",
-    "lbm", "omnet", "astar", "sphinx3", "xalanc",
+    "bzip2", "gcc", "mcf", "milc", "zeus", "cactus", "leslie", "soplex", "gems", "libqntm", "lbm",
+    "omnet", "astar", "sphinx3", "xalanc",
 ];
 
 /// PBBS apps (Fig. 16 right group; all but nbody).
 pub const PBBS_APPS: &[&str] = &[
-    "BFS", "MIS", "MST", "SA", "ST", "delaunay", "dict", "hull", "isort", "matching",
-    "neighbors", "ray", "refine", "remDups", "setCover", "sort",
+    "BFS",
+    "MIS",
+    "MST",
+    "SA",
+    "ST",
+    "delaunay",
+    "dict",
+    "hull",
+    "isort",
+    "matching",
+    "neighbors",
+    "ray",
+    "refine",
+    "remDups",
+    "setCover",
+    "sort",
 ];
 
 /// All 31 single-threaded benchmarks.
@@ -590,8 +604,8 @@ mod tests {
         // Every Table 2 app key that is a single-threaded benchmark
         // resolves (BFS..cactus).
         for key in [
-            "BFS", "delaunay", "matching", "refine", "MIS", "ST", "MST", "hull", "bzip2",
-            "lbm", "mcf", "cactus",
+            "BFS", "delaunay", "matching", "refine", "MIS", "ST", "MST", "hull", "bzip2", "lbm",
+            "mcf", "cactus",
         ] {
             let _ = spec(key);
         }

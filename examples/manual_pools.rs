@@ -8,8 +8,8 @@
 //! ```
 
 use whirlpool_repro::harness::{
-    exec_cycles, render_occupancy, run_single_app, run_single_app_with, speedup_pct,
-    four_core_config, Classification, SchemeKind,
+    exec_cycles, four_core_config, render_occupancy, run_single_app, run_single_app_with,
+    speedup_pct, Classification, SchemeKind,
 };
 
 fn main() {

@@ -6,9 +6,9 @@
 //! cargo run --release --example parallel_paws
 //! ```
 
+use whirlpool_repro::harness::{makespan_cycles, run_parallel, speedup_pct, SchemeKind};
 use wp_paws::SchedPolicy;
 use wp_workloads::parallel::parallel_apps;
-use whirlpool_repro::harness::{makespan_cycles, run_parallel, speedup_pct, SchemeKind};
 
 fn main() {
     let specs = parallel_apps(16, 42);

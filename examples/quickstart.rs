@@ -22,7 +22,12 @@ fn main() {
     let _t = alloc.pool_malloc(4 * 1024 * 1024, triangles);
     println!("created {} pools:", alloc.descriptors().len());
     for d in alloc.descriptors() {
-        println!("  {:>10}: {:>5} KB across {} pages", d.name, d.bytes / 1024, d.pages.len());
+        println!(
+            "  {:>10}: {:>5} KB across {} pages",
+            d.name,
+            d.bytes / 1024,
+            d.pages.len()
+        );
     }
 
     // --- Running dt under Jigsaw vs Whirlpool (Sec. 2.1) -----------------
@@ -36,7 +41,10 @@ fn main() {
         INSTRS,
     );
 
-    println!("\n{:<12} {:>12} {:>10} {:>10} {:>12}", "scheme", "cycles", "LLC APKI", "MPKI", "energy nJ/KI");
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>10} {:>12}",
+        "scheme", "cycles", "LLC APKI", "MPKI", "energy nJ/KI"
+    );
     for s in [&jig, &wp] {
         println!(
             "{:<12} {:>12.0} {:>10.1} {:>10.2} {:>12.2}",

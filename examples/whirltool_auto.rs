@@ -8,12 +8,12 @@
 
 use std::collections::HashMap;
 
-use wp_mem::{CallpointId, PageId};
-use wp_whirltool::{cluster, profile, ProfilerConfig};
-use wp_workloads::{registry, AppModel};
 use whirlpool_repro::harness::{
     exec_cycles, run_single_app, speedup_pct, Classification, SchemeKind,
 };
+use wp_mem::{CallpointId, PageId};
+use wp_whirltool::{cluster, profile, ProfilerConfig};
+use wp_workloads::{registry, AppModel};
 
 fn main() {
     let app = "delaunay";
@@ -51,8 +51,16 @@ fn main() {
     // 3. Run with 2, 3, 4 pools vs Jigsaw and the manual port (Fig. 16).
     const INSTRS: u64 = 6_000_000;
     let jig = run_single_app(SchemeKind::Jigsaw, app, Classification::None, INSTRS);
-    println!("{:<22} {:>12}  {:>9}", "configuration", "cycles", "vs Jigsaw");
-    println!("{:<22} {:>12.0}  {:>8.1}%", "Jigsaw", exec_cycles(&jig), 0.0);
+    println!(
+        "{:<22} {:>12}  {:>9}",
+        "configuration", "cycles", "vs Jigsaw"
+    );
+    println!(
+        "{:<22} {:>12.0}  {:>8.1}%",
+        "Jigsaw",
+        exec_cycles(&jig),
+        0.0
+    );
     for pools in [2usize, 3, 4] {
         let wt = run_single_app(
             SchemeKind::Whirlpool,

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use whirlpool::WhirlpoolScheme;
 use wp_baselines::{AwasthiParams, AwasthiScheme, IdealSpdScheme, SNucaScheme, SnucaReplacement};
 use wp_jigsaw::JigsawScheme;
 use wp_mem::{CallpointId, PageId};
@@ -14,7 +15,6 @@ use wp_whirltool::{cluster, profile, ProfilerConfig};
 use wp_workloads::parallel::{ParallelApp, ParallelSpec};
 use wp_workloads::registry;
 use wp_workloads::AppModel;
-use whirlpool::WhirlpoolScheme;
 
 /// The evaluated LLC schemes (Fig. 10/21 set plus the bypass ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,9 +78,7 @@ pub fn make_scheme(kind: SchemeKind, sys: &SystemConfig) -> Box<dyn LlcScheme> {
         SchemeKind::Jigsaw => Box::new(JigsawScheme::new(sys.clone())),
         SchemeKind::JigsawNoBypass => Box::new(JigsawScheme::without_bypass(sys.clone())),
         SchemeKind::Whirlpool => Box::new(WhirlpoolScheme::new(sys.clone())),
-        SchemeKind::WhirlpoolNoBypass => {
-            Box::new(WhirlpoolScheme::without_bypass(sys.clone()))
-        }
+        SchemeKind::WhirlpoolNoBypass => Box::new(WhirlpoolScheme::without_bypass(sys.clone())),
     }
 }
 
@@ -172,7 +170,8 @@ pub fn descriptors_for(
 /// apps.
 pub fn run_budget(app: &str) -> (u64, u64) {
     let spec = registry::spec(app);
-    let llc_lines = 200u64 * 1024; // 4-core LLC (12.5 MB)
+    // 4-core LLC (12.5 MB).
+    let llc_lines = 200u64 * 1024;
     // Monitors need ~2 walks of each pool's footprint at that pool's access
     // rate before its curve tail converges, plus the EWMA window. Budget 3
     // walks of the slowest LLC-fitting pool (streaming pools never converge
@@ -403,8 +402,7 @@ mod tests {
     fn whirltool_classification_runs() {
         let assignment = classify_with_whirltool("delaunay", 3, true);
         assert!(!assignment.is_empty());
-        let clusters: std::collections::HashSet<usize> =
-            assignment.values().copied().collect();
+        let clusters: std::collections::HashSet<usize> = assignment.values().copied().collect();
         assert!(clusters.len() <= 3);
     }
 

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: the full pipeline from allocator to
 //! simulator, on small budgets suitable for debug-mode CI.
 
+use whirlpool::{PoolAllocator, VcRegistry, WhirlpoolScheme};
+use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
 use wp_noc::CoreId;
 use wp_sim::{LlcScheme, MultiCoreSim, WorkloadBundle};
 use wp_workloads::{registry, AppModel, AppSpec, Pattern, PoolSpec};
-use whirlpool::{PoolAllocator, VcRegistry, WhirlpoolScheme};
-use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
 
 /// A small dt-like spec that converges quickly in debug builds.
 fn small_dt() -> AppSpec {
@@ -66,12 +66,7 @@ fn allocator_to_scheme_page_flow() {
     let sys = four_core_config();
     let mut scheme = WhirlpoolScheme::new(sys);
     scheme.attach_core(CoreId(0), &descs);
-    let labels: Vec<String> = scheme
-        .runtime()
-        .vcs()
-        .iter()
-        .map(|v| v.label())
-        .collect();
+    let labels: Vec<String> = scheme.runtime().vcs().iter().map(|v| v.label()).collect();
     assert!(labels.contains(&"grid".to_string()));
 }
 

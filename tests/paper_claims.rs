@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 
+use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
 use wp_mem::{CallpointId, PageId};
 use wp_noc::CoreId;
 use wp_paws::{schedule, SchedPolicy};
@@ -11,7 +12,6 @@ use wp_sim::{MultiCoreSim, RunSummary};
 use wp_whirltool::{cluster, profile, ProfilerConfig};
 use wp_workloads::parallel::{ParallelApp, ParallelSpec, RemoteKind};
 use wp_workloads::{AppModel, AppSpec, Pattern, PoolSpec};
-use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
 
 /// mis in miniature: cache-friendly vertices + streaming edges.
 fn small_mis() -> AppSpec {

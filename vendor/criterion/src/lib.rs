@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of the `criterion` benchmark API this
+//! workspace uses: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The workspace must build with no network access, so the real crate is
+//! replaced by this shim via a `path` dependency in the workspace root.
+//! Measurement is wall-clock over auto-scaled batches — good enough to
+//! compare runs of the same machine, with none of criterion's statistics.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: filters and runs the registered benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(300),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments: the first non-flag
+    /// argument is a substring filter, `--quick` shortens measurement,
+    /// and harness flags cargo passes (`--bench`, ...) are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => {
+                    c.warmup = Duration::from_millis(10);
+                    c.measure = Duration::from_millis(30);
+                }
+                a if a.starts_with('-') => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Times `f` (via the [`Bencher`] it is handed) and prints one
+    /// `name ... ns/iter` line, criterion-style.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.ran += 1;
+        let ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{id:<40} time: {ns:>12.1} ns/iter  ({} iters)", b.iters);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Prints a one-line summary after all groups have run.
+    pub fn final_summary(&self) {
+        println!("ran {} benchmark(s)", self.ran);
+    }
+}
+
+/// A named group of benchmarks (configuration methods are accepted and
+/// ignored; the shim has no sampling statistics to configure).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim does not sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: first untimed until the warmup budget is
+    /// spent (calibrating the batch size), then timed until the
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u64;
+        let warmup_start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Defines a benchmark group function that runs each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target: builds a
+/// [`Criterion`] from the CLI arguments and runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+            ..Criterion::default()
+        };
+        let mut x = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert_eq!(c.ran, 1);
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert_eq!(c.ran, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Boolean strategies (`proptest::bool::weighted`).
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Strategy producing `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.p
+    }
+}

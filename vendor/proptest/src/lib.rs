@@ -1,0 +1,309 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and tuple strategies, [`collection::vec`],
+//! [`bool::weighted`], [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! The workspace must build with no network access, so the real crate is
+//! replaced by this shim via a `path` dependency in the workspace root.
+//! Semantics: each `proptest!` test runs `cases` random instantiations
+//! of its strategies from a fixed seed (deterministic across runs);
+//! failures panic with the case number. There is no shrinking.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+pub mod bool;
+pub mod collection;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// simply produces one value per call from the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Uses each generated value to pick a follow-on strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                #[allow(clippy::redundant_closure_call)]
+                ($gen)(self, rng)
+            }
+        }
+    )*};
+}
+
+macro_rules! int_range_gen {
+    ($t:ty) => {
+        |r: &Range<$t>, rng: &mut TestRng| {
+            let span = r.end.wrapping_sub(r.start) as u64;
+            r.start.wrapping_add((rng.next_u64() % span) as $t)
+        }
+    };
+}
+
+impl_range_strategy!(
+    u8 => int_range_gen!(u8),
+    u16 => int_range_gen!(u16),
+    u32 => int_range_gen!(u32),
+    u64 => int_range_gen!(u64),
+    usize => int_range_gen!(usize),
+    i32 => int_range_gen!(i32),
+    i64 => int_range_gen!(i64),
+    f64 => |r: &Range<f64>, rng: &mut TestRng| {
+        r.start + rng.unit_f64() * (r.end - r.start)
+    },
+    f32 => |r: &Range<f32>, rng: &mut TestRng| {
+        r.start + (rng.unit_f64() as f32) * (r.end - r.start)
+    },
+);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+);
+
+/// Common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+/// Drives the cases of one `proptest!`-generated test. Not public API in
+/// real proptest; the [`proptest!`] macro expansion calls it.
+pub fn run_cases<F: FnMut(&mut TestRng, u32)>(config: ProptestConfig, mut case: F) {
+    // Fixed base seed: failures reproduce across runs and machines.
+    let mut rng = TestRng::new(0x5EED_CA5E_0000_0000);
+    for i in 0..config.cases {
+        case(&mut rng, i);
+    }
+}
+
+/// Generates deterministic property tests. Supports the forms
+/// `proptest! { #[test] fn name(x in strat, ...) { body } ... }` with an
+/// optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases($cfg, |rng, _case| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a property holds, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0.0f64..1.0, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0u16..4, 0u64..100), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 100);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn flat_map_and_boxed(v in (2usize..8).prop_flat_map(|n| {
+            crate::collection::vec(0.0f64..1.0, n).prop_map(|v| (v.len(), v))
+        }).boxed()) {
+            let (n, vals) = v;
+            prop_assert_eq!(n, vals.len());
+            prop_assert!((2..8).contains(&n));
+        }
+
+        #[test]
+        fn weighted_bool_extremes(a in crate::bool::weighted(0.0), b in crate::bool::weighted(1.0)) {
+            prop_assert!(!a);
+            prop_assert!(b);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let s = crate::collection::vec(0u64..10, 3);
+        crate::run_cases(ProptestConfig::with_cases(8), |rng, _| {
+            assert_eq!(Strategy::new_value(&s, rng).len(), 3);
+        });
+    }
+}
