@@ -1,5 +1,5 @@
 //! Fig. 10: mis performance, energy, and LLC-access breakdown across the
-//! six schemes.
+//! six schemes. Pass `--json` for a machine-readable summary line.
 
 fn main() {
     wp_bench::breakdown_figure(

@@ -33,12 +33,10 @@ pub fn n_mixes() -> usize {
 }
 
 /// The classification a scheme should receive for single-app runs.
+/// (Kept as a re-export shim: the logic lives on [`SchemeKind`] now so
+/// every consumer — binaries, `trace_tool`, tests — shares it.)
 pub fn classification_for(kind: SchemeKind) -> Classification {
-    if kind.uses_pools() {
-        Classification::Manual
-    } else {
-        Classification::None
-    }
+    kind.default_classification()
 }
 
 /// Prints a normalized bar table: rows of `(label, value)` normalized to
@@ -61,6 +59,9 @@ pub fn gmean(values: &[f64]) -> f64 {
 
 /// Runs the full six-scheme breakdown of Figs. 10/19/20 for one app:
 /// execution time, data-movement energy split, and LLC access mix.
+///
+/// Passing `--json` to the binary appends one machine-readable line with
+/// every scheme's full [`RunSummary`](wp_sim::RunSummary).
 pub fn breakdown_figure(app: &str, paper_note: &str) {
     use whirlpool_repro::harness::{exec_cycles, run_single_app};
     let measure = measure_budget(app);
@@ -68,6 +69,7 @@ pub fn breakdown_figure(app: &str, paper_note: &str) {
     println!("Paper: {paper_note}\n");
     let mut time_rows = Vec::new();
     let mut energy_rows = Vec::new();
+    let mut json_rows = Vec::new();
     println!(
         "{:<14} {:>12} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "scheme", "cycles", "hit/KI", "miss/KI", "byp/KI", "net", "bank", "mem (nJ/KI)"
@@ -89,9 +91,17 @@ pub fn breakdown_figure(app: &str, paper_note: &str) {
         );
         time_rows.push((out.scheme.clone(), exec_cycles(&out)));
         energy_rows.push((out.scheme.clone(), out.energy_per_ki()));
+        json_rows.push(out.to_json());
     }
     print_normalized("Execution time", &time_rows);
     print_normalized("Data-movement energy", &energy_rows);
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "\n{{\"app\":{},\"measured_instructions\":{measure},\"schemes\":[{}]}}",
+            wp_sim::json_string(app),
+            json_rows.join(",")
+        );
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ mod hull;
 mod latency;
 mod mattson;
 mod partition;
+mod trace;
 
 pub use combine::{combine_many, combine_miss_curves};
 pub use curve::MissCurve;
@@ -59,6 +60,7 @@ pub use mattson::{MattsonStack, SampledStack};
 pub use partition::{
     partition_capacity, partition_capacity_hulled, partitioned_curve, PartitionOutcome,
 };
+pub use trace::{curve_from_trace, histogram_from_trace};
 
 /// A cache line is 64 bytes throughout the reproduction (Table 3).
 pub const LINE_BYTES: u64 = 64;

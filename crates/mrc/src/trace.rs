@@ -1,0 +1,118 @@
+//! Trace-file entry points: drive the Mattson machinery straight from a
+//! recorded `.wpt` trace, no live workload model required.
+
+use std::path::Path;
+
+use wp_trace::{TraceError, TraceReader};
+
+use crate::curve::MissCurve;
+use crate::histogram::StackDistanceHistogram;
+use crate::mattson::MattsonStack;
+
+/// Runs an exact Mattson stack over stream `stream` of the trace at
+/// `path`, returning the stack-distance histogram and the instruction
+/// count the stream covers (for MPKI normalization).
+///
+/// # Errors
+///
+/// Propagates any [`TraceError`] from the file (missing, truncated,
+/// corrupt, undefined stream).
+pub fn histogram_from_trace(
+    path: &Path,
+    stream: u16,
+) -> Result<(StackDistanceHistogram, u64), TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut stack = MattsonStack::new();
+    let mut instrs = 0u64;
+    let mut seen = false;
+    while let Some((sid, rec)) = reader.next_record()? {
+        if sid != stream {
+            continue;
+        }
+        seen = true;
+        instrs += u64::from(rec.gap_instrs);
+        stack.access(rec.line.0);
+    }
+    if !seen && reader.stream(stream).is_none() {
+        return Err(TraceError::Corrupt(format!(
+            "stream {stream} is not defined in the trace"
+        )));
+    }
+    Ok((stack.take_histogram(), instrs))
+}
+
+/// The miss curve of stream `stream` of the trace at `path`, at
+/// `granule_lines` capacity granularity — the trace-driven analogue of
+/// the profiler's per-callpoint curves, over the whole stream.
+///
+/// # Errors
+///
+/// Propagates any [`TraceError`] from the file.
+pub fn curve_from_trace(
+    path: &Path,
+    stream: u16,
+    granule_lines: u64,
+) -> Result<MissCurve, TraceError> {
+    let (hist, instrs) = histogram_from_trace(path, stream)?;
+    Ok(MissCurve::from_histogram(
+        &hist,
+        instrs.max(1),
+        granule_lines,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_trace::TraceWriter;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wp-mrc-trace-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn curve_of_a_cyclic_sweep_has_the_right_knee() {
+        // A cyclic sweep over 1024 lines at 10 APKI: every non-cold access
+        // has stack distance exactly 1024, so the curve collapses to ~0
+        // once capacity reaches the working set.
+        let path = temp("sweep.wpt");
+        let mut w = TraceWriter::create(&path).unwrap();
+        let s = w.add_stream("sweep", &[]).unwrap();
+        for i in 0..8192u64 {
+            w.record(s, 100, wp_mem::LineAddr(i % 1024), false).unwrap();
+        }
+        w.finish().unwrap();
+
+        let (hist, instrs) = histogram_from_trace(&path, 0).unwrap();
+        assert_eq!(instrs, 819_200);
+        assert_eq!(hist.total(), 8192);
+        assert_eq!(hist.cold_misses(), 1024);
+
+        let curve = curve_from_trace(&path, 0, 64).unwrap();
+        // Below the working set everything misses (10 APKI); at ≥1024
+        // lines only the cold misses remain.
+        assert!(curve.at_zero() > 9.9);
+        assert!(curve.interp_at_lines(512) > 9.9);
+        assert!(curve.interp_at_lines(1088) < 1.5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undefined_stream_is_an_error() {
+        let path = temp("nostream.wpt");
+        let mut w = TraceWriter::create(&path).unwrap();
+        let _ = w.add_stream("only", &[]).unwrap();
+        w.finish().unwrap();
+        assert!(histogram_from_trace(&path, 5).is_err());
+        assert!(histogram_from_trace(&path, 0).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(matches!(
+            curve_from_trace(Path::new("/nonexistent/trace.wpt"), 0, 64),
+            Err(TraceError::Io(_))
+        ));
+    }
+}

@@ -7,7 +7,10 @@
 //! instructions, but finished workloads keep executing (wrapping their
 //! traces) so late finishers still see contention.
 
+use std::path::PathBuf;
+
 use wp_noc::CoreId;
+use wp_trace::{TraceError, TraceWriter};
 
 use crate::config::SystemConfig;
 use crate::scheme::{AccessContext, LlcOutcome, LlcScheme, Workload, WorkloadBundle};
@@ -18,6 +21,72 @@ use crate::EnergyBreakdown;
 /// Events processed per scheduling quantum (per core, before the driver
 /// re-picks the laggard core).
 const QUANTUM_EVENTS: usize = 256;
+
+/// Run-level configuration: the simulated system plus driver options that
+/// are not part of the modelled hardware.
+///
+/// The only such option today is trace capture: with `capture_to` set,
+/// every event the driver pulls from every attached workload — warmup
+/// included — is recorded to a `.wpt` file (one stream per core, with the
+/// core's pool descriptors in the stream header), so the run can later be
+/// replayed bit-identically through any scheme via
+/// [`TraceWorkload`](crate::TraceWorkload).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The simulated system (Table 3 parameters, floorplan, energy).
+    pub system: SystemConfig,
+    /// Record every pulled event to this `.wpt` file.
+    pub capture_to: Option<PathBuf>,
+}
+
+impl SimConfig {
+    /// A plain run of `system` with no capture.
+    pub fn new(system: SystemConfig) -> Self {
+        Self {
+            system,
+            capture_to: None,
+        }
+    }
+
+    /// Captures the run's full event stream to `path`.
+    #[must_use]
+    pub fn capture_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.capture_to = Some(path.into());
+        self
+    }
+}
+
+impl From<SystemConfig> for SimConfig {
+    fn from(system: SystemConfig) -> Self {
+        Self::new(system)
+    }
+}
+
+/// Capture state: the open writer plus each core's stream id.
+struct Capture {
+    writer: TraceWriter<std::io::BufWriter<std::fs::File>>,
+    streams: Vec<Option<u16>>,
+    /// First write error, surfaced by [`MultiCoreSim::finish_capture`];
+    /// recording stops once set so one bad disk doesn't spam.
+    error: Option<TraceError>,
+}
+
+impl Capture {
+    fn record(&mut self, core: usize, ev: &crate::scheme::TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(stream) = self.streams[core] else {
+            return;
+        };
+        if let Err(e) = self
+            .writer
+            .record(stream, ev.gap_instrs, ev.line, ev.is_write)
+        {
+            self.error = Some(e);
+        }
+    }
+}
 
 /// One core's execution state.
 pub struct CoreRunner {
@@ -76,6 +145,7 @@ pub struct MultiCoreSim<S: LlcScheme> {
     scheme: S,
     runners: Vec<Option<CoreRunner>>,
     last_reconfig: u64,
+    capture: Option<Capture>,
 }
 
 impl<S: LlcScheme> std::fmt::Debug for MultiCoreSim<S> {
@@ -95,7 +165,39 @@ impl<S: LlcScheme> MultiCoreSim<S> {
             scheme,
             runners: (0..cores).map(|_| None).collect(),
             last_reconfig: 0,
+            capture: None,
         }
+    }
+
+    /// Creates a simulator from a full [`SimConfig`], opening the capture
+    /// file if one is configured. Errors only on capture-file creation.
+    pub fn with_config(config: SimConfig, scheme: S) -> Result<Self, TraceError> {
+        let mut sim = Self::new(config.system, scheme);
+        if let Some(path) = &config.capture_to {
+            let cores = sim.runners.len();
+            sim.capture = Some(Capture {
+                writer: TraceWriter::create(path)?,
+                streams: vec![None; cores],
+                error: None,
+            });
+        }
+        Ok(sim)
+    }
+
+    /// Finalizes the capture file (flushes chunks, writes the `End`
+    /// block) and surfaces any write error hit mid-run. Returns `true`
+    /// if a capture was active. Without this the file lacks its `End`
+    /// block and readers report it truncated (`Drop` still makes a
+    /// best-effort attempt).
+    pub fn finish_capture(&mut self) -> Result<bool, TraceError> {
+        let Some(mut cap) = self.capture.take() else {
+            return Ok(false);
+        };
+        if let Some(e) = cap.error.take() {
+            return Err(e);
+        }
+        cap.writer.finish()?;
+        Ok(true)
     }
 
     /// Attaches a workload to a core, registering its pools with the scheme.
@@ -107,6 +209,14 @@ impl<S: LlcScheme> MultiCoreSim<S> {
         let slot = &mut self.runners[core.0 as usize];
         assert!(slot.is_none(), "core {core:?} already has a workload");
         self.scheme.attach_core(core, &bundle.pools);
+        if let Some(cap) = &mut self.capture {
+            let pools = crate::replay::pool_metas_of(&bundle.pools);
+            match cap.writer.add_stream(&bundle.name, &pools) {
+                Ok(id) => cap.streams[core.0 as usize] = Some(id),
+                Err(e) => cap.error = Some(e),
+            }
+        }
+        let slot = &mut self.runners[core.0 as usize];
         *slot = Some(CoreRunner {
             trace: bundle.trace,
             stats: CoreStats::default(),
@@ -134,6 +244,12 @@ impl<S: LlcScheme> MultiCoreSim<S> {
     /// Runs `warmup_instructions` per core without counting (the paper's
     /// fast-forward: caches and monitors warm, statistics reset), then
     /// measures `target_instructions` per core.
+    ///
+    /// A *finite* workload (e.g. a replayed trace) that runs dry during
+    /// warmup keeps its warmup-window statistics as its counted result —
+    /// it executed, just not past the fast-forward boundary. When
+    /// replaying a capture, use warmup/measure budgets no larger than the
+    /// recording's so the measurement window lands inside the trace.
     pub fn run_with_warmup(
         &mut self,
         warmup_instructions: u64,
@@ -211,6 +327,10 @@ impl<S: LlcScheme> MultiCoreSim<S> {
                 }
                 return;
             };
+            if let Some(cap) = &mut self.capture {
+                cap.record(core_idx, &ev);
+            }
+            let runner = self.runners[core_idx].as_mut().expect("runner exists");
             runner.stats.instructions += ev.gap_instrs as u64;
             runner.stats.cycles += ev.gap_instrs as f64 * config.base_cpi;
             self.uncore.interval_instructions[core_idx] += ev.gap_instrs as u64;
@@ -399,6 +519,36 @@ mod tests {
         let mut sim = MultiCoreSim::new(SystemConfig::four_core(), NearestHit::default());
         sim.attach(CoreId(0), stream(1));
         sim.attach(CoreId(0), stream(1));
+    }
+
+    #[test]
+    fn capture_records_every_pulled_event() {
+        let path =
+            std::env::temp_dir().join(format!("wp-sim-capture-{}-driver.wpt", std::process::id()));
+        let cfg = SimConfig::new(SystemConfig::four_core()).capture_to(&path);
+        let mut sim = MultiCoreSim::with_config(cfg, NearestHit::default()).unwrap();
+        sim.attach(CoreId(0), stream(1000));
+        let out = sim.run(50_000);
+        assert!(sim.finish_capture().unwrap());
+        assert!(!sim.finish_capture().unwrap(), "second finish is a no-op");
+        // The capture holds exactly what the run pulled: the counted 500
+        // events plus the tail of the final scheduling quantum (the
+        // driver finishes a quantum after the fixed-work target, so a
+        // replay re-walks the identical stream).
+        let mut replay = crate::TraceWorkload::open(&path).unwrap();
+        let mut events = 0u64;
+        while let Some(ev) = replay.next_event() {
+            events += 1;
+            assert_eq!(ev.gap_instrs, 100);
+            assert!(!ev.is_write);
+        }
+        let counted = out.cores[0].llc_accesses;
+        assert!(
+            events >= counted && events <= counted + QUANTUM_EVENTS as u64,
+            "captured {events}, counted {counted}"
+        );
+        assert_eq!(events % QUANTUM_EVENTS as u64, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

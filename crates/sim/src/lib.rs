@@ -25,18 +25,20 @@ mod driver;
 mod energy;
 mod hierarchy;
 mod memory;
+mod replay;
 mod scheme;
 mod stats;
 mod uncore;
 
 pub use config::SystemConfig;
-pub use driver::{CoreRunner, MultiCoreSim, RunSummary};
+pub use driver::{CoreRunner, MultiCoreSim, RunSummary, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
 pub use hierarchy::{PrivateHierarchy, PrivateLookup};
 pub use memory::MemoryChannels;
+pub use replay::{trace_bundle, trace_pools, TraceWorkload};
 pub use scheme::{
     AccessContext, LlcOutcome, LlcResponse, LlcScheme, PoolDescriptor, TraceEvent, Workload,
     WorkloadBundle,
 };
-pub use stats::CoreStats;
+pub use stats::{json_string, CoreStats};
 pub use uncore::Uncore;

@@ -84,6 +84,91 @@ fn per_ki(count: u64, instructions: u64) -> f64 {
     }
 }
 
+/// Renders `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped) — for callers assembling JSON around
+/// [`RunSummary::to_json`](crate::RunSummary::to_json), e.g. app names
+/// that may be `trace:<path>` URIs.
+pub fn json_string(s: &str) -> String {
+    json::string(s)
+}
+
+/// Dependency-free JSON rendering of run results, so figure binaries and
+/// `trace_tool replay` can emit machine-readable output.
+///
+/// Numbers use Rust's shortest-round-trip float formatting, so two
+/// summaries render to the same string iff their statistics are
+/// bit-identical — which is exactly what the replay-determinism tests
+/// compare.
+mod json {
+    /// A finite float as a JSON number (non-finite values become `null`,
+    /// which JSON cannot represent as a number).
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// A JSON string literal with minimal escaping.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+impl CoreStats {
+    /// This core's counters and derived rates as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"instructions\":{},\"cycles\":{},\"stall_cycles\":{},\"ipc\":{},\
+             \"llc_accesses\":{},\"llc_hits\":{},\"llc_misses\":{},\"llc_bypasses\":{},\
+             \"llc_apki\":{},\"llc_mpki\":{},\"llc_bpki\":{}}}",
+            self.instructions,
+            json::num(self.cycles),
+            json::num(self.stall_cycles),
+            json::num(self.ipc()),
+            self.llc_accesses,
+            self.llc_hits,
+            self.llc_misses,
+            self.llc_bypasses,
+            json::num(self.llc_apki()),
+            json::num(self.llc_mpki()),
+            json::num(self.llc_bpki()),
+        )
+    }
+}
+
+impl crate::RunSummary {
+    /// The whole run — scheme, per-core stats, energy — as one JSON
+    /// object (single line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let cores: Vec<String> = self.cores.iter().map(CoreStats::to_json).collect();
+        format!(
+            "{{\"scheme\":{},\"cycles\":{},\"energy\":{{\"network_nj\":{},\"bank_nj\":{},\
+             \"memory_nj\":{},\"total_nj\":{}}},\"energy_per_ki\":{},\"cores\":[{}]}}",
+            json::string(&self.scheme),
+            self.cycles,
+            json::num(self.energy.network_nj),
+            json::num(self.energy.bank_nj),
+            json::num(self.energy.memory_nj),
+            json::num(self.energy.total_nj()),
+            json::num(self.energy_per_ki()),
+            cores.join(",")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +195,39 @@ mod tests {
         let s = CoreStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.llc_apki(), 0.0);
+    }
+
+    #[test]
+    fn core_stats_json_is_well_formed() {
+        let s = CoreStats {
+            instructions: 1000,
+            cycles: 2500.5,
+            llc_accesses: 10,
+            llc_hits: 6,
+            llc_misses: 4,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"instructions\":1000"));
+        assert!(j.contains("\"cycles\":2500.5"));
+        assert!(j.contains("\"llc_mpki\":4"));
+        // Balanced braces and quotes (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn summary_json_includes_all_cores() {
+        let sum = crate::RunSummary {
+            scheme: "S-NUCA \"LRU\"".into(),
+            cores: vec![CoreStats::default(), CoreStats::default()],
+            energy: crate::EnergyBreakdown::default(),
+            cycles: 42,
+        };
+        let j = sum.to_json();
+        assert!(j.contains("\\\"LRU\\\""), "quotes escaped: {j}");
+        assert!(j.contains("\"cycles\":42"));
+        assert_eq!(j.matches("\"instructions\"").count(), 2);
     }
 }

@@ -1,0 +1,141 @@
+//! Fixed-width bit packing for chunk columns.
+//!
+//! Each column of a chunk (gaps, address deltas) is frame-of-reference
+//! coded: a per-chunk minimum plus `width`-bit residuals packed LSB-first
+//! into bytes. A constant column packs to zero bytes (`width == 0`).
+
+use crate::TraceError;
+
+/// Bits needed to represent `v` (0 for `v == 0`).
+pub fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Packs `width`-bit values LSB-first into `out`.
+///
+/// # Panics
+///
+/// Debug-asserts every value fits in `width` bits; `width` must be ≤ 64.
+pub fn pack(out: &mut Vec<u8>, values: &[u64], width: u8) {
+    assert!(width <= 64);
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u128;
+    let mut acc_bits = 0u32;
+    for &v in values {
+        debug_assert!(width == 64 || v < (1u64 << width), "value exceeds width");
+        acc |= (v as u128) << acc_bits;
+        acc_bits += u32::from(width);
+        while acc_bits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Number of bytes `count` values of `width` bits occupy.
+pub fn packed_len(count: usize, width: u8) -> usize {
+    (count * usize::from(width)).div_ceil(8)
+}
+
+/// Unpacks `count` `width`-bit values from `buf` at `*pos`, advancing it
+/// past the column. Errors with [`TraceError::Truncated`] if the buffer is
+/// too short.
+pub fn unpack(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    width: u8,
+) -> Result<Vec<u64>, TraceError> {
+    if width == 0 {
+        return Ok(vec![0; count]);
+    }
+    if width > 64 {
+        return Err(TraceError::Corrupt(format!("bit width {width} > 64")));
+    }
+    let need = packed_len(count, width);
+    let Some(bytes) = buf.get(*pos..*pos + need) else {
+        return Err(TraceError::Truncated);
+    };
+    *pos += need;
+    let mut values = Vec::with_capacity(count);
+    let mut acc = 0u128;
+    let mut acc_bits = 0u32;
+    let mut next = bytes.iter();
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    for _ in 0..count {
+        while acc_bits < u32::from(width) {
+            acc |= u128::from(*next.next().expect("sized above")) << acc_bits;
+            acc_bits += 8;
+        }
+        values.push((acc as u64) & mask);
+        acc >>= width;
+        acc_bits -= u32::from(width);
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_edges() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for width in [1u8, 3, 5, 8, 13, 17, 31, 33, 64] {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..100u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let mut buf = Vec::new();
+            pack(&mut buf, &values, width);
+            assert_eq!(buf.len(), packed_len(values.len(), width));
+            let mut pos = 0;
+            let got = unpack(&buf, &mut pos, values.len(), width).unwrap();
+            assert_eq!(got, values, "width {width}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zero_width_is_free() {
+        let mut buf = Vec::new();
+        pack(&mut buf, &[0, 0, 0], 0);
+        assert!(buf.is_empty());
+        let mut pos = 0;
+        assert_eq!(unpack(&buf, &mut pos, 3, 0).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn short_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        pack(&mut buf, &[1, 2, 3, 4], 9);
+        buf.pop();
+        let mut pos = 0;
+        assert!(matches!(
+            unpack(&buf, &mut pos, 4, 9),
+            Err(TraceError::Truncated)
+        ));
+    }
+}

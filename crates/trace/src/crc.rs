@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, the zlib polynomial) for block payload checksums.
+//!
+//! Hand-rolled because the workspace builds with no external crates; the
+//! standard reflected table-driven form, one table built at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init `!0`, final xor `!0` — matches zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"whirlpool trace chunk payload".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base);
+            }
+        }
+    }
+}

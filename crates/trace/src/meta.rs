@@ -1,0 +1,343 @@
+//! Trace records and per-stream metadata (names and pool tables).
+
+use wp_mem::{LineAddr, PageId, LINES_PER_PAGE};
+
+use crate::varint::{get_varint, put_varint};
+use crate::TraceError;
+
+/// One decoded trace event.
+///
+/// This is the paper-level event model: an L2-filtered LLC access with the
+/// instruction gap since the previous one, plus the static classification
+/// (pool index) the producer recorded, when any. The pool index refers
+/// into the owning stream's [`StreamMeta::pools`] table; it is derived
+/// from the pool page tables rather than stored per event, so tagging is
+/// free on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Instructions executed since the previous event of this stream.
+    pub gap_instrs: u32,
+    /// The cache line accessed.
+    pub line: LineAddr,
+    /// Whether the access is a write.
+    pub is_write: bool,
+    /// Index into the stream's pool table, if the line falls in a
+    /// recorded pool.
+    pub pool: Option<u16>,
+}
+
+/// Static description of one memory pool, as stored in a stream's header.
+///
+/// Mirrors `wp_sim::PoolDescriptor` (this crate sits below `wp-sim`, so
+/// the conversion lives there) — enough to rebuild the exact descriptors
+/// a captured run was given, making a `.wpt` file self-contained even for
+/// classification-consuming schemes like Whirlpool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolMeta {
+    /// Human-readable name ("points", "vertices", …).
+    pub name: String,
+    /// Allocator pool id, if the data was pool-allocated.
+    pub pool: Option<u32>,
+    /// Footprint in bytes.
+    pub bytes: u64,
+    /// Pages belonging to the pool, ascending.
+    pub pages: Vec<PageId>,
+}
+
+/// One stream of a trace file: a named event sequence with a pool table.
+///
+/// Single-app captures have one stream; multi-core captures store one
+/// stream per core, chunks interleaved in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamMeta {
+    /// Stream id (dense, starting at 0).
+    pub id: u16,
+    /// Workload name the producer recorded.
+    pub name: String,
+    /// The stream's static classification (may be empty).
+    pub pools: Vec<PoolMeta>,
+}
+
+impl StreamMeta {
+    /// Encodes this stream's definition as a block payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, u64::from(self.id));
+        put_string(&mut out, &self.name);
+        put_varint(&mut out, self.pools.len() as u64);
+        for p in &self.pools {
+            put_string(&mut out, &p.name);
+            put_varint(&mut out, p.pool.map_or(0, |id| u64::from(id) + 1));
+            put_varint(&mut out, p.bytes);
+            let runs = page_runs(&p.pages);
+            put_varint(&mut out, runs.len() as u64);
+            let mut prev_end = 0u64;
+            for (first, n) in runs {
+                put_varint(&mut out, first - prev_end);
+                put_varint(&mut out, n);
+                prev_end = first + n;
+            }
+        }
+        out
+    }
+
+    /// Decodes a stream definition from a block payload.
+    pub(crate) fn decode(buf: &[u8]) -> Result<Self, TraceError> {
+        let mut pos = 0;
+        let id = get_varint(buf, &mut pos)?;
+        if id > u64::from(u16::MAX) {
+            return Err(TraceError::Corrupt(format!("stream id {id} out of range")));
+        }
+        let name = get_string(buf, &mut pos)?;
+        let pool_count = get_varint(buf, &mut pos)?;
+        if pool_count > 1 << 16 {
+            return Err(TraceError::Corrupt(format!("{pool_count} pools in stream")));
+        }
+        let mut pools = Vec::with_capacity(pool_count as usize);
+        for _ in 0..pool_count {
+            let pname = get_string(buf, &mut pos)?;
+            let pool_id = get_varint(buf, &mut pos)?;
+            let pool = if pool_id == 0 {
+                None
+            } else {
+                u32::try_from(pool_id - 1)
+                    .map(Some)
+                    .map_err(|_| TraceError::Corrupt("pool id overflows u32".into()))?
+            };
+            let bytes = get_varint(buf, &mut pos)?;
+            let run_count = get_varint(buf, &mut pos)?;
+            if run_count > 1 << 24 {
+                return Err(TraceError::Corrupt(format!(
+                    "{run_count} page runs in pool"
+                )));
+            }
+            let mut pages = Vec::new();
+            let mut prev_end = 0u64;
+            for _ in 0..run_count {
+                let gap = get_varint(buf, &mut pos)?;
+                let n = get_varint(buf, &mut pos)?;
+                let first = prev_end
+                    .checked_add(gap)
+                    .ok_or_else(|| TraceError::Corrupt("page run overflows".into()))?;
+                let end = first
+                    .checked_add(n)
+                    .ok_or_else(|| TraceError::Corrupt("page run overflows".into()))?;
+                if pages.len() as u64 + n > 1 << 26 {
+                    return Err(TraceError::Corrupt("pool page table too large".into()));
+                }
+                pages.extend((first..end).map(PageId));
+                prev_end = end;
+            }
+            pools.push(PoolMeta {
+                name: pname,
+                pool,
+                bytes,
+                pages,
+            });
+        }
+        if pos != buf.len() {
+            return Err(TraceError::Corrupt("trailing bytes in stream def".into()));
+        }
+        Ok(StreamMeta {
+            id: id as u16,
+            name,
+            pools,
+        })
+    }
+}
+
+/// Maps lines to pool indices for one stream, built from the pool page
+/// tables (page-granular; where pools overlap, the lowest pool index
+/// wins). Captured traces have exclusive pools, but externally authored
+/// ones need not.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PoolLookup {
+    /// `(first_page, end_page, pool_idx)` sorted by `first_page`.
+    runs: Vec<(u64, u64, u16)>,
+    /// `prefix_max_end[i]` = max end over `runs[..=i]`, so lookups can
+    /// stop scanning left as soon as no earlier run can reach the page.
+    prefix_max_end: Vec<u64>,
+}
+
+impl PoolLookup {
+    pub(crate) fn new(pools: &[PoolMeta]) -> Self {
+        let mut runs = Vec::new();
+        for (i, p) in pools.iter().enumerate() {
+            for (first, n) in page_runs(&p.pages) {
+                runs.push((first, first + n, i as u16));
+            }
+        }
+        runs.sort_unstable();
+        let mut prefix_max_end = Vec::with_capacity(runs.len());
+        let mut max_end = 0;
+        for &(_, end, _) in &runs {
+            max_end = max_end.max(end);
+            prefix_max_end.push(max_end);
+        }
+        Self {
+            runs,
+            prefix_max_end,
+        }
+    }
+
+    pub(crate) fn pool_of(&self, line: LineAddr) -> Option<u16> {
+        let page = line.0 / LINES_PER_PAGE;
+        let mut j = self.runs.partition_point(|&(first, _, _)| first <= page);
+        let mut best: Option<u16> = None;
+        // Runs are sorted by first page, but an enclosing run can start
+        // well left of the insertion point; walk left until the prefix
+        // maximum proves nothing earlier reaches this page. Disjoint
+        // tables (every capture) stop after one step.
+        while j > 0 {
+            j -= 1;
+            if self.prefix_max_end[j] <= page {
+                break;
+            }
+            let (first, end, pool) = self.runs[j];
+            if page >= first && page < end {
+                best = Some(best.map_or(pool, |b| b.min(pool)));
+            }
+        }
+        best
+    }
+}
+
+/// Collapses a page list into sorted, disjoint `(first_page, count)` runs.
+fn page_runs(pages: &[PageId]) -> Vec<(u64, u64)> {
+    let mut ids: Vec<u64> = pages.iter().map(|p| p.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for id in ids {
+        match runs.last_mut() {
+            Some((first, n)) if *first + *n == id => *n += 1,
+            _ => runs.push((id, 1)),
+        }
+    }
+    runs
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(buf: &[u8], pos: &mut usize) -> Result<String, TraceError> {
+    let len = get_varint(buf, pos)?;
+    if len > 1 << 16 {
+        return Err(TraceError::Corrupt(format!("string of {len} bytes")));
+    }
+    let len = len as usize;
+    let Some(bytes) = buf.get(*pos..*pos + len) else {
+        return Err(TraceError::Truncated);
+    };
+    *pos += len;
+    String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::Corrupt("string is not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> StreamMeta {
+        StreamMeta {
+            id: 3,
+            name: "delaunay".into(),
+            pools: vec![
+                PoolMeta {
+                    name: "points".into(),
+                    pool: Some(0),
+                    bytes: 512 * 1024,
+                    pages: (16..144).map(PageId).collect(),
+                },
+                PoolMeta {
+                    name: "scattered".into(),
+                    pool: None,
+                    bytes: 4096 * 3,
+                    pages: vec![PageId(200), PageId(300), PageId(301)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stream_def_round_trips() {
+        let s = sample_stream();
+        let buf = s.encode();
+        let got = StreamMeta::decode(&buf).unwrap();
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn truncated_stream_def_is_an_error() {
+        let buf = sample_stream().encode();
+        for cut in 0..buf.len() {
+            assert!(
+                StreamMeta::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_lookup_maps_lines() {
+        let s = sample_stream();
+        let l = PoolLookup::new(&s.pools);
+        // Page 16 → pool 0; page 200 → pool 1; page 199 → none.
+        assert_eq!(l.pool_of(PageId(16).first_line()), Some(0));
+        assert_eq!(l.pool_of(PageId(143).first_line()), Some(0));
+        assert_eq!(l.pool_of(PageId(144).first_line()), None);
+        assert_eq!(l.pool_of(PageId(200).first_line()), Some(1));
+        assert_eq!(l.pool_of(PageId(301).first_line()), Some(1));
+        assert_eq!(l.pool_of(PageId(302).first_line()), None);
+        assert_eq!(l.pool_of(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn pool_lookup_handles_overlapping_pools() {
+        // Pool 0 encloses pages 0..100; pool 1 nests inside at 10..20;
+        // pool 2 sits beyond. Lowest pool index wins on overlap, and
+        // enclosed-but-uncovered pages still resolve to the outer pool.
+        let pools = vec![
+            PoolMeta {
+                name: "outer".into(),
+                pool: None,
+                bytes: 0,
+                pages: (0..100).map(PageId).collect(),
+            },
+            PoolMeta {
+                name: "inner".into(),
+                pool: None,
+                bytes: 0,
+                pages: (10..20).map(PageId).collect(),
+            },
+            PoolMeta {
+                name: "after".into(),
+                pool: None,
+                bytes: 0,
+                pages: (200..210).map(PageId).collect(),
+            },
+        ];
+        let l = PoolLookup::new(&pools);
+        assert_eq!(l.pool_of(PageId(5).first_line()), Some(0));
+        assert_eq!(
+            l.pool_of(PageId(15).first_line()),
+            Some(0),
+            "overlap: lowest wins"
+        );
+        assert_eq!(
+            l.pool_of(PageId(50).first_line()),
+            Some(0),
+            "inside outer, past inner"
+        );
+        assert_eq!(l.pool_of(PageId(99).first_line()), Some(0));
+        assert_eq!(l.pool_of(PageId(100).first_line()), None);
+        assert_eq!(l.pool_of(PageId(205).first_line()), Some(2));
+    }
+
+    #[test]
+    fn page_runs_collapse() {
+        let pages: Vec<PageId> = [5u64, 6, 7, 10, 11, 20].map(PageId).to_vec();
+        assert_eq!(page_runs(&pages), vec![(5, 3), (10, 2), (20, 1)]);
+    }
+}

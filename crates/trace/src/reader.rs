@@ -1,0 +1,519 @@
+//! Streaming `.wpt` decoder and whole-file summarization.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::path::Path;
+
+use wp_mem::LineAddr;
+
+use crate::bits::unpack;
+use crate::crc::crc32;
+use crate::meta::{PoolLookup, StreamMeta, TraceRecord};
+use crate::varint::{get_varint, unzigzag};
+use crate::{
+    TraceError, MAGIC, MAX_BLOCK_BYTES, MAX_CHUNK_EVENTS, TAG_CHUNK, TAG_END, TAG_STREAM_DEF,
+    VERSION,
+};
+
+#[derive(Debug)]
+struct StreamState {
+    meta: StreamMeta,
+    lookup: PoolLookup,
+    events: u64,
+    instrs: u64,
+}
+
+/// Streaming decoder for `.wpt` traces.
+///
+/// Yields `(stream id, record)` pairs in file order via
+/// [`next_record`](TraceReader::next_record), holding at most one decoded
+/// chunk in memory. Stream definitions are discovered as they are encountered;
+/// because writers emit every definition before the stream's first chunk,
+/// [`streams`](TraceReader::streams) is complete by the time the first
+/// event of each stream is returned.
+///
+/// All structural problems — bad magic, checksum mismatches, impossible
+/// counts, and files that end before their `End` block — surface as
+/// [`TraceError`]s, never panics.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    streams: Vec<StreamState>,
+    queue: VecDeque<(u16, TraceRecord)>,
+    ended: bool,
+    /// Byte offset of the next unread block (for error reporting).
+    offset: u64,
+    chunks: u64,
+}
+
+impl TraceReader<std::io::BufReader<std::fs::File>> {
+    /// Opens `path` and validates the file header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `input`, reading and validating the file header.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut half = [0u8; 2];
+        input.read_exact(&mut half)?;
+        let version = u16::from_le_bytes(half);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        input.read_exact(&mut half)?; // flags (reserved)
+        Ok(Self {
+            input,
+            streams: Vec::new(),
+            queue: VecDeque::new(),
+            ended: false,
+            offset: 8,
+            chunks: 0,
+        })
+    }
+
+    /// Stream definitions seen so far.
+    pub fn streams(&self) -> impl Iterator<Item = &StreamMeta> {
+        self.streams.iter().map(|s| &s.meta)
+    }
+
+    /// Metadata of stream `id`, if defined.
+    pub fn stream(&self, id: u16) -> Option<&StreamMeta> {
+        self.streams.get(usize::from(id)).map(|s| &s.meta)
+    }
+
+    /// Chunks decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks
+    }
+
+    /// The next `(stream id, record)`, or `Ok(None)` at a clean end of
+    /// trace (the `End` block was present and its totals matched).
+    pub fn next_record(&mut self) -> Result<Option<(u16, TraceRecord)>, TraceError> {
+        loop {
+            if let Some(ev) = self.queue.pop_front() {
+                return Ok(Some(ev));
+            }
+            if self.ended {
+                return Ok(None);
+            }
+            self.read_block()?;
+        }
+    }
+
+    fn read_block(&mut self) -> Result<(), TraceError> {
+        let block_offset = self.offset;
+        let mut tag = [0u8; 1];
+        if let Err(e) = self.input.read_exact(&mut tag) {
+            // A file that just stops (no End block) is truncated, whatever
+            // the boundary it stops on.
+            return Err(TraceError::from(e));
+        }
+        let len = self.read_varint_stream()?;
+        if len > MAX_BLOCK_BYTES {
+            return Err(TraceError::Corrupt(format!("block of {len} bytes")));
+        }
+        let mut crc_bytes = [0u8; 4];
+        self.input.read_exact(&mut crc_bytes)?;
+        let expect_crc = u32::from_le_bytes(crc_bytes);
+        let mut payload = vec![0u8; len as usize];
+        self.input.read_exact(&mut payload)?;
+        self.offset += 1 + varint_len(len) + 4 + len;
+        if crc32(&payload) != expect_crc {
+            return Err(TraceError::Checksum {
+                offset: block_offset,
+            });
+        }
+        match tag[0] {
+            TAG_STREAM_DEF => {
+                let meta = StreamMeta::decode(&payload)?;
+                if usize::from(meta.id) != self.streams.len() {
+                    return Err(TraceError::Corrupt(format!(
+                        "stream {} defined out of order (expected {})",
+                        meta.id,
+                        self.streams.len()
+                    )));
+                }
+                let lookup = PoolLookup::new(&meta.pools);
+                self.streams.push(StreamState {
+                    meta,
+                    lookup,
+                    events: 0,
+                    instrs: 0,
+                });
+                Ok(())
+            }
+            TAG_CHUNK => self.decode_chunk(&payload),
+            TAG_END => self.check_end(&payload),
+            t => Err(TraceError::Corrupt(format!("unknown block tag {t}"))),
+        }
+    }
+
+    fn decode_chunk(&mut self, payload: &[u8]) -> Result<(), TraceError> {
+        let mut pos = 0;
+        let stream = get_varint(payload, &mut pos)?;
+        let state = self
+            .streams
+            .get_mut(stream as usize)
+            .ok_or_else(|| TraceError::Corrupt(format!("chunk for undefined stream {stream}")))?;
+        let count = get_varint(payload, &mut pos)?;
+        if count == 0 || count > MAX_CHUNK_EVENTS {
+            return Err(TraceError::Corrupt(format!("chunk of {count} events")));
+        }
+        let count = count as usize;
+        let base_line = get_varint(payload, &mut pos)?;
+
+        let min_gap = get_varint(payload, &mut pos)?;
+        let gap_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        let gaps = unpack(payload, &mut pos, count, gap_bits)?;
+
+        let write_mode = *payload.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        let writes: Vec<u64> = match write_mode {
+            0 => vec![0; count],
+            1 => vec![1; count],
+            2 => unpack(payload, &mut pos, count, 1)?,
+            m => return Err(TraceError::Corrupt(format!("write mode {m}"))),
+        };
+
+        // The first event of a stream is stored absolutely as the base
+        // line; every later event is a delta off its predecessor.
+        let skip = usize::from(state.events == 0);
+        let min_zz = get_varint(payload, &mut pos)?;
+        let addr_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        let deltas = unpack(payload, &mut pos, count - skip, addr_bits)?;
+        if pos != payload.len() {
+            return Err(TraceError::Corrupt("trailing bytes in chunk".into()));
+        }
+
+        let mut line = base_line;
+        for i in 0..count {
+            let gap = min_gap
+                .checked_add(gaps[i])
+                .filter(|&g| g <= u64::from(u32::MAX))
+                .ok_or_else(|| TraceError::Corrupt("gap overflows u32".into()))?;
+            if i >= skip {
+                let zz = min_zz
+                    .checked_add(deltas[i - skip])
+                    .ok_or_else(|| TraceError::Corrupt("address delta overflows".into()))?;
+                line = line.wrapping_add(unzigzag(zz) as u64);
+            }
+            let rec = TraceRecord {
+                gap_instrs: gap as u32,
+                line: LineAddr(line),
+                is_write: writes[i] == 1,
+                pool: state.lookup.pool_of(LineAddr(line)),
+            };
+            state.events += 1;
+            state.instrs += u64::from(rec.gap_instrs);
+            self.queue.push_back((stream as u16, rec));
+        }
+        self.chunks += 1;
+        Ok(())
+    }
+
+    fn check_end(&mut self, payload: &[u8]) -> Result<(), TraceError> {
+        let mut pos = 0;
+        let n = get_varint(payload, &mut pos)?;
+        if n as usize != self.streams.len() {
+            return Err(TraceError::Corrupt(format!(
+                "end block lists {n} streams, file defined {}",
+                self.streams.len()
+            )));
+        }
+        for s in &self.streams {
+            let id = get_varint(payload, &mut pos)?;
+            let events = get_varint(payload, &mut pos)?;
+            let instrs = get_varint(payload, &mut pos)?;
+            if id != u64::from(s.meta.id) || events != s.events || instrs != s.instrs {
+                return Err(TraceError::Corrupt(format!(
+                    "end block totals disagree for stream {}: {events} events / {instrs} \
+                     instrs recorded, {} / {} decoded",
+                    s.meta.id, s.events, s.instrs
+                )));
+            }
+        }
+        if pos != payload.len() {
+            return Err(TraceError::Corrupt("trailing bytes in end block".into()));
+        }
+        // The End block must be the last thing in the file: appended
+        // garbage (or a second concatenated trace) is corruption, not
+        // something to silently ignore.
+        let mut probe = [0u8; 1];
+        loop {
+            match self.input.read(&mut probe) {
+                Ok(0) => break,
+                Ok(_) => {
+                    return Err(TraceError::Corrupt(
+                        "trailing data after the end block".into(),
+                    ))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceError::from(e)),
+            }
+        }
+        self.ended = true;
+        Ok(())
+    }
+
+    /// Reads a varint directly off the input stream (block lengths live
+    /// outside any buffered payload).
+    fn read_varint_stream(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            self.input.read_exact(&mut byte)?;
+            let b = byte[0];
+            if shift >= 64 || (shift == 63 && b & 0x7F > 1) {
+                return Err(TraceError::Corrupt("varint overflows u64".into()));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+fn varint_len(v: u64) -> u64 {
+    (u64::from(64 - v.leading_zeros()).max(1)).div_ceil(7)
+}
+
+/// Per-stream summary produced by [`TraceInfo::scan`].
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// The stream's definition (name, pool table).
+    pub meta: StreamMeta,
+    /// Events in the stream.
+    pub events: u64,
+    /// Instructions covered (sum of gaps).
+    pub instructions: u64,
+    /// Write events.
+    pub writes: u64,
+    /// Smallest and largest line touched, if any events exist.
+    pub line_span: Option<(u64, u64)>,
+}
+
+/// Whole-file summary: what `trace_tool info` prints.
+#[derive(Debug, Clone)]
+pub struct TraceInfo {
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Chunks in the file.
+    pub chunks: u64,
+    /// Per-stream summaries.
+    pub streams: Vec<StreamInfo>,
+}
+
+impl TraceInfo {
+    /// Scans (fully decodes) `path`, validating every checksum.
+    pub fn scan(path: &Path) -> Result<Self, TraceError> {
+        let file_bytes = std::fs::metadata(path)?.len();
+        let mut reader = TraceReader::open(path)?;
+        let mut streams: Vec<StreamInfo> = Vec::new();
+        while let Some((sid, rec)) = reader.next_record()? {
+            let sid = usize::from(sid);
+            while streams.len() <= sid {
+                let meta = reader
+                    .stream(streams.len() as u16)
+                    .expect("decoded events imply a definition")
+                    .clone();
+                streams.push(StreamInfo {
+                    meta,
+                    events: 0,
+                    instructions: 0,
+                    writes: 0,
+                    line_span: None,
+                });
+            }
+            let s = &mut streams[sid];
+            s.events += 1;
+            s.instructions += u64::from(rec.gap_instrs);
+            s.writes += u64::from(rec.is_write);
+            s.line_span = Some(match s.line_span {
+                None => (rec.line.0, rec.line.0),
+                Some((lo, hi)) => (lo.min(rec.line.0), hi.max(rec.line.0)),
+            });
+        }
+        // Event-free streams still deserve a row.
+        for meta in reader.streams().skip(streams.len()) {
+            streams.push(StreamInfo {
+                meta: meta.clone(),
+                events: 0,
+                instructions: 0,
+                writes: 0,
+                line_span: None,
+            });
+        }
+        Ok(TraceInfo {
+            file_bytes,
+            chunks: reader.chunks_read(),
+            streams,
+        })
+    }
+
+    /// Total events across streams.
+    pub fn total_events(&self) -> u64 {
+        self.streams.iter().map(|s| s.events).sum()
+    }
+
+    /// Bytes a naive fixed-width encoding (`u64` address + `u32` gap per
+    /// event) would take — the compression baseline.
+    pub fn naive_bytes(&self) -> u64 {
+        12 * self.total_events()
+    }
+
+    /// Compression ratio vs the naive fixed-width encoding.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.file_bytes == 0 {
+            return 0.0;
+        }
+        self.naive_bytes() as f64 / self.file_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    fn encode(events: &[(u32, u64, bool)], chunk: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(chunk);
+        let s = w.add_stream("t", &[]).unwrap();
+        for &(gap, line, wr) in events {
+            w.record(s, gap, LineAddr(line), wr).unwrap();
+        }
+        w.finish().unwrap();
+        drop(w);
+        buf
+    }
+
+    fn decode_all(buf: &[u8]) -> Result<Vec<(u32, u64, bool)>, TraceError> {
+        let mut r = TraceReader::new(buf)?;
+        let mut out = Vec::new();
+        while let Some((_, rec)) = r.next_record()? {
+            out.push((rec.gap_instrs, rec.line.0, rec.is_write));
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn round_trips_across_chunk_sizes() {
+        let events: Vec<(u32, u64, bool)> = (0..100u64)
+            .map(|i| ((i % 7) as u32, 1000 + (i * 37) % 256, i % 3 == 0))
+            .collect();
+        for chunk in [1, 2, 3, 7, 64, 4096] {
+            let buf = encode(&events, chunk);
+            assert_eq!(decode_all(&buf).unwrap(), events, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let buf = encode(&[], 8);
+        assert_eq!(decode_all(&buf).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        assert!(matches!(
+            TraceReader::new(&b"NOPE\x01\x00\x00\x00"[..]),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_an_error() {
+        let buf = [b'W', b'P', b'T', b'1', 9, 0, 0, 0];
+        assert!(matches!(
+            TraceReader::new(&buf[..]),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn missing_end_block_is_truncation() {
+        let events: Vec<(u32, u64, bool)> = (0..10).map(|i| (1, 100 + i, false)).collect();
+        let buf = encode(&events, 4);
+        // Chop the End block (its payload is small; cut the last byte).
+        let cut = &buf[..buf.len() - 1];
+        assert!(matches!(decode_all(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_garbage_after_end_is_an_error() {
+        let events: Vec<(u32, u64, bool)> = (0..10).map(|i| (1, 100 + i, false)).collect();
+        let mut buf = encode(&events, 4);
+        let clean = buf.clone();
+        buf.extend_from_slice(b"junk");
+        assert!(matches!(decode_all(&buf), Err(TraceError::Corrupt(_))));
+        // Two concatenated traces are likewise rejected, not half-read.
+        let mut double = clean.clone();
+        double.extend_from_slice(&clean);
+        assert!(decode_all(&double).is_err());
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_error() {
+        let events: Vec<(u32, u64, bool)> = (0..50).map(|i| (3, 7 * i, false)).collect();
+        let mut buf = encode(&events, 16);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let got = decode_all(&buf);
+        assert!(got.is_err(), "corruption must not decode cleanly");
+    }
+
+    #[test]
+    fn sweep_addresses_cost_almost_nothing() {
+        // 10k-event pure sweep with constant gap: both columns collapse
+        // to zero-width residuals, so the file is ~header + chunk heads.
+        let events: Vec<(u32, u64, bool)> = (0..10_000).map(|i| (40, 5000 + i, false)).collect();
+        let buf = encode(&events, 4096);
+        assert!(
+            buf.len() < 200,
+            "sweep should pack to ~0 bits/event, got {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn multi_stream_interleaves() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(2);
+        let a = w.add_stream("a", &[]).unwrap();
+        let b = w.add_stream("b", &[]).unwrap();
+        for i in 0..5u64 {
+            w.record(a, 10, LineAddr(i), false).unwrap();
+            w.record(b, 20, LineAddr(1000 + i), true).unwrap();
+        }
+        w.finish().unwrap();
+        drop(w);
+        let mut r = TraceReader::new(&buf[..]).unwrap();
+        let mut per_stream = [0u64; 2];
+        let mut n = 0;
+        while let Some((sid, rec)) = r.next_record().unwrap() {
+            per_stream[usize::from(sid)] += 1;
+            if sid == a {
+                assert!(!rec.is_write);
+            } else {
+                assert_eq!(rec.gap_instrs, 20);
+            }
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(per_stream, [5, 5]);
+        assert_eq!(r.streams().count(), 2);
+    }
+}

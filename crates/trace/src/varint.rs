@@ -1,0 +1,110 @@
+//! LEB128 varints and zigzag mapping — the byte-level primitives of the
+//! `.wpt` container (block lengths, chunk headers, pool tables).
+
+use crate::TraceError;
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, little-endian,
+/// high bit = continuation). At most 10 bytes for a `u64`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `buf` at `*pos`, advancing it.
+///
+/// Errors with [`TraceError::Corrupt`] on overlong encodings (more than
+/// 10 bytes) and [`TraceError::Truncated`] if the buffer ends mid-varint.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(TraceError::Truncated);
+        };
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte & 0x7F > 1) {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed delta onto unsigned so small magnitudes of either sign
+/// get small codes: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_is_an_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert!(matches!(
+            get_varint(&buf, &mut pos),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            get_varint(&buf, &mut pos),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 1 << 40, -(1 << 40), i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -23,5 +23,5 @@ mod profiler;
 mod runtime;
 
 pub use analyzer::{cluster, pool_distance, ClusterTree, Merge};
-pub use profiler::{profile, ProfileData, ProfilerConfig};
+pub use profiler::{profile, profile_trace_file, ProfileData, ProfilerConfig};
 pub use runtime::WhirlToolRuntime;

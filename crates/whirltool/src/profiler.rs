@@ -106,6 +106,38 @@ pub fn profile(
     }
 }
 
+/// Profiles stream 0 of a recorded `.wpt` trace — the offline entry
+/// point, for traces captured elsewhere (or authored externally) where no
+/// live model exists to re-run.
+///
+/// The page→callpoint map is derived from the trace's pool table, so
+/// attribution is pool-granular: pool `i` of the recording becomes
+/// callpoint `i + 1` (callpoint 0 stays the unknown/thread-private
+/// fallback). Returns the profile plus the `(callpoint, pool name)`
+/// legend for labelling clusters.
+///
+/// # Errors
+///
+/// Fails if the trace is missing, truncated before its stream
+/// definition, or structurally corrupt.
+pub fn profile_trace_file(
+    path: &std::path::Path,
+    cfg: ProfilerConfig,
+) -> Result<(ProfileData, Vec<(CallpointId, String)>), wp_trace::TraceError> {
+    let pools = wp_sim::trace_pools(path, 0)?;
+    let mut page_map: HashMap<PageId, CallpointId> = HashMap::new();
+    let mut legend = Vec::with_capacity(pools.len());
+    for (i, p) in pools.iter().enumerate() {
+        let cp = CallpointId(i as u64 + 1);
+        legend.push((cp, p.name.clone()));
+        for pg in &p.pages {
+            page_map.insert(*pg, cp);
+        }
+    }
+    let mut trace = wp_sim::TraceWorkload::open(path)?;
+    Ok((profile(&mut trace, &page_map, cfg), legend))
+}
+
 fn flush_interval(
     stacks: &mut HashMap<CallpointId, MattsonStack>,
     instrs: u64,
@@ -232,5 +264,49 @@ mod tests {
         // but nonzero.
         assert!(data.size_bytes() > 0);
         assert!(data.size_bytes() < 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn profiles_a_recorded_trace_by_pool() {
+        use wp_trace::{PoolMeta, TraceWriter};
+        let path =
+            std::env::temp_dir().join(format!("wp-whirltool-profile-{}.wpt", std::process::id()));
+        let pools = [
+            PoolMeta {
+                name: "hot".into(),
+                pool: Some(0),
+                bytes: 4 * 4096,
+                pages: (0..4).map(PageId).collect(),
+            },
+            PoolMeta {
+                name: "stream".into(),
+                pool: Some(1),
+                bytes: 4096 * 2048,
+                pages: (1500..3548).map(PageId).collect(),
+            },
+        ];
+        let mut w = TraceWriter::create(&path).unwrap();
+        let s = w.add_stream("toy", &pools).unwrap();
+        for i in 1..=10_000u64 {
+            let line = if i % 2 == 0 { i / 2 % 256 } else { 96_000 + i };
+            w.record(s, 20, LineAddr(line), false).unwrap();
+        }
+        w.finish().unwrap();
+
+        let cfg = ProfilerConfig {
+            interval_instrs: 50_000,
+            total_instrs: 200_000,
+            granule_lines: 64,
+            curve_points: 32,
+        };
+        let (data, legend) = profile_trace_file(&path, cfg).unwrap();
+        assert_eq!(legend.len(), 2);
+        assert_eq!(legend[0].1, "hot");
+        // Pool 0 → callpoint 1 (hot), pool 1 → callpoint 2 (streaming).
+        let hot = &data.intervals[1][&CallpointId(1)];
+        assert!(hot.mpki_at(31) < 0.2 * hot.at_zero());
+        let cold = &data.intervals[1][&CallpointId(2)];
+        assert!(cold.mpki_at(31) > 0.8 * cold.at_zero());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -55,6 +55,15 @@ pub fn all_apps() -> Vec<&'static str> {
     SPEC_APPS.iter().chain(PBBS_APPS.iter()).copied().collect()
 }
 
+/// The file path of a `trace:<path>` app name, or `None` for registry
+/// names. Anywhere an app name is accepted, `trace:/path/to/run.wpt`
+/// names a recorded `.wpt` trace instead of a synthetic model; resolution
+/// happens in the harness (`whirlpool_repro::harness::app_bundle`), since
+/// traces carry their own pool tables rather than an [`AppSpec`].
+pub fn trace_path(name: &str) -> Option<&std::path::Path> {
+    name.strip_prefix("trace:").map(std::path::Path::new)
+}
+
 fn seed_of(name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
@@ -479,7 +488,14 @@ pub fn spec(name: &str) -> AppSpec {
             55.0,
             s,
         ),
-        other => panic!("unknown benchmark '{other}'"),
+        other => {
+            assert!(
+                trace_path(other).is_none(),
+                "'{other}' is a recorded trace, not a registry model; \
+                 resolve it through the harness entry points"
+            );
+            panic!("unknown benchmark '{other}'")
+        }
     }
 }
 
@@ -597,6 +613,21 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_app_panics() {
         spec("doom");
+    }
+
+    #[test]
+    fn trace_uris_are_recognized() {
+        assert_eq!(
+            trace_path("trace:/tmp/run.wpt"),
+            Some(std::path::Path::new("/tmp/run.wpt"))
+        );
+        assert_eq!(trace_path("delaunay"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded trace")]
+    fn trace_uri_in_spec_panics_helpfully() {
+        spec("trace:/tmp/run.wpt");
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! `trace_tool` — record, inspect, and replay `.wpt` access traces.
+//!
+//! ```text
+//! trace_tool record <app> --out <file> [--scheme S] [--classification C]
+//!                          [--warmup N] [--measure N] [--sixteen-core]
+//! trace_tool info   <file>
+//! trace_tool dump   <file> [--limit N] [--stream K]
+//! trace_tool replay <file> [--scheme S | --all-schemes]
+//!                          [--warmup N] [--measure N] [--no-pools] [--sixteen-core]
+//! ```
+//!
+//! `record` runs a registry app under a scheme and captures every pulled
+//! event; `replay` drives a recorded file through one scheme (or the full
+//! Fig. 10 set), printing one JSON [`RunSummary`] line per scheme.
+//! Replaying with the warmup/measure budgets of the recording reproduces
+//! its statistics bit for bit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use whirlpool_repro::harness::{
+    run_budget, sixteen_core_config, Classification, RunSpec, SchemeKind,
+};
+use wp_trace::{TraceInfo, TraceReader};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_tool: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  trace_tool record <app> --out <file> [--scheme S] [--classification none|manual|auto]
+                    [--warmup N] [--measure N] [--sixteen-core]
+  trace_tool info   <file>
+  trace_tool dump   <file> [--limit N] [--stream K]
+  trace_tool replay <file> [--scheme S | --all-schemes] [--warmup N] [--measure N]
+                    [--no-pools] [--sixteen-core]
+
+schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
+         Whirlpool, Whirlpool-NoBypass
+";
+
+/// Minimal flag cursor: positionals plus `--flag [value]` pairs.
+struct Args<'a> {
+    rest: &'a [String],
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(rest: &'a [String], with_value: &[&str], boolean: &[&str]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = rest[i].as_str();
+            if with_value.contains(&arg) {
+                i += 2;
+                if i > rest.len() {
+                    return Err(format!("{arg} needs a value"));
+                }
+            } else if boolean.contains(&arg) {
+                i += 1;
+            } else if arg.starts_with("--") {
+                return Err(format!("unknown flag '{arg}'"));
+            } else {
+                positional.push(arg);
+                i += 1;
+            }
+        }
+        Ok(Self { rest, positional })
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    fn number(&self, flag: &str) -> Result<Option<u64>, String> {
+        self.value(flag)
+            .map(|v| {
+                v.replace('_', "")
+                    .parse::<u64>()
+                    .map_err(|_| format!("{flag} expects an integer, got '{v}'"))
+            })
+            .transpose()
+    }
+}
+
+fn parse_scheme(s: &str) -> Result<SchemeKind, String> {
+    SchemeKind::parse(s).ok_or_else(|| format!("unknown scheme '{s}'"))
+}
+
+fn apply_common(mut spec: RunSpec, args: &Args) -> Result<RunSpec, String> {
+    if let Some(n) = args.number("--warmup")? {
+        spec = spec.warmup(n);
+    }
+    if let Some(n) = args.number("--measure")? {
+        spec = spec.measure(n);
+    }
+    if args.flag("--sixteen-core") {
+        spec = spec.system(sixteen_core_config());
+    }
+    Ok(spec)
+}
+
+fn cmd_record(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        rest,
+        &[
+            "--out",
+            "--scheme",
+            "--classification",
+            "--warmup",
+            "--measure",
+        ],
+        &["--sixteen-core"],
+    )?;
+    let [app] = args.positional[..] else {
+        return Err("record takes exactly one app name".into());
+    };
+    let out = PathBuf::from(args.value("--out").ok_or("record needs --out <file>")?);
+    let kind = args
+        .value("--scheme")
+        .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?;
+    let classification = match args.value("--classification") {
+        None => kind.default_classification(),
+        Some("none") => Classification::None,
+        Some("manual") => Classification::Manual,
+        Some("auto") => Classification::WhirlTool {
+            pools: 3,
+            train: true,
+        },
+        Some(other) => return Err(format!("unknown classification '{other}'")),
+    };
+    if wp_workloads::registry::trace_path(app).is_none()
+        && !wp_workloads::registry::all_apps().contains(&app)
+    {
+        return Err(format!(
+            "unknown app '{app}' (expected a registry name or trace:<path>)"
+        ));
+    }
+    let spec = apply_common(
+        RunSpec::new(kind, app)
+            .classification(classification)
+            .capture_to(&out),
+        &args,
+    )?;
+    let (warmup, measure) = run_budget(app);
+    eprintln!(
+        "recording {app} under {} (warmup {}, measure {})...",
+        kind.label(),
+        args.number("--warmup")?.unwrap_or(warmup),
+        args.number("--measure")?.unwrap_or(measure),
+    );
+    let summary = spec.run().map_err(|e| e.to_string())?;
+    println!("{}", summary.to_json());
+    // Deliberate full re-read: validates every checksum of the file we
+    // just wrote before anyone ships it, and yields the summary line.
+    let info = TraceInfo::scan(&out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote and validated {} ({} events, {} bytes, {:.2}x vs naive encoding)",
+        out.display(),
+        info.total_events(),
+        info.file_bytes,
+        info.compression_ratio(),
+    );
+    Ok(())
+}
+
+fn cmd_info(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest, &[], &[])?;
+    let [file] = args.positional[..] else {
+        return Err("info takes exactly one trace file".into());
+    };
+    let info = TraceInfo::scan(Path::new(file)).map_err(|e| e.to_string())?;
+    println!("{file}");
+    println!(
+        "  {} bytes, {} chunks, {} streams, {} events total",
+        info.file_bytes,
+        info.chunks,
+        info.streams.len(),
+        info.total_events(),
+    );
+    println!(
+        "  naive fixed-width size {} bytes -> compression {:.2}x ({:.2} bytes/event)",
+        info.naive_bytes(),
+        info.compression_ratio(),
+        if info.total_events() == 0 {
+            0.0
+        } else {
+            info.file_bytes as f64 / info.total_events() as f64
+        },
+    );
+    for s in &info.streams {
+        println!(
+            "  stream {} '{}': {} events, {} instructions, {} writes",
+            s.meta.id, s.meta.name, s.events, s.instructions, s.writes
+        );
+        if let Some((lo, hi)) = s.line_span {
+            println!("    lines {lo:#x}..{hi:#x}");
+        }
+        for (i, p) in s.meta.pools.iter().enumerate() {
+            println!(
+                "    pool {i} '{}': {} KB, {} pages{}",
+                p.name,
+                p.bytes / 1024,
+                p.pages.len(),
+                p.pool
+                    .map(|id| format!(", allocator pool {id}"))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dump(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest, &["--limit", "--stream"], &[])?;
+    let [file] = args.positional[..] else {
+        return Err("dump takes exactly one trace file".into());
+    };
+    let limit = args.number("--limit")?.unwrap_or(64);
+    let only = args.number("--stream")?;
+    let mut reader = TraceReader::open(Path::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "{:>10} {:>6} {:>8} {:>14} {:>3} {:>5}",
+        "seq", "stream", "gap", "line", "rw", "pool"
+    );
+    let mut seq = 0u64;
+    let mut shown = 0u64;
+    loop {
+        match reader.next_record() {
+            Ok(Some((sid, rec))) => {
+                seq += 1;
+                if only.is_some_and(|k| u64::from(sid) != k) {
+                    continue;
+                }
+                if shown >= limit {
+                    println!("... (truncated at --limit {limit})");
+                    return Ok(());
+                }
+                println!(
+                    "{:>10} {:>6} {:>8} {:>#14x} {:>3} {:>5}",
+                    seq - 1,
+                    sid,
+                    rec.gap_instrs,
+                    rec.line.0,
+                    if rec.is_write { "w" } else { "r" },
+                    rec.pool
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+                shown += 1;
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        rest,
+        &["--scheme", "--warmup", "--measure"],
+        &["--all-schemes", "--no-pools", "--sixteen-core"],
+    )?;
+    let [file] = args.positional[..] else {
+        return Err("replay takes exactly one trace file".into());
+    };
+    let kinds: Vec<SchemeKind> = if args.flag("--all-schemes") {
+        SchemeKind::FIG10.to_vec()
+    } else {
+        vec![args
+            .value("--scheme")
+            .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?]
+    };
+    let uri = format!("trace:{file}");
+    for kind in kinds {
+        let mut spec = RunSpec::new(kind, &uri);
+        if args.flag("--no-pools") {
+            spec = spec.classification(Classification::None);
+        }
+        let spec = apply_common(spec, &args)?;
+        let summary = spec.run().map_err(|e| e.to_string())?;
+        println!("{}", summary.to_json());
+    }
+    Ok(())
+}

@@ -1,7 +1,14 @@
 //! Experiment harness: scheme factories and runners shared by the
-//! per-figure benchmarks, the examples, and the integration tests.
+//! per-figure benchmarks, the examples, the `trace_tool` CLI, and the
+//! integration tests.
+//!
+//! [`RunSpec`] is the shared entry point every consumer goes through: it
+//! resolves app names (registry models *and* `trace:<path>` recordings),
+//! instantiates the scheme, applies default budgets and classification,
+//! and optionally captures the run to a `.wpt` file.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use whirlpool::WhirlpoolScheme;
@@ -48,6 +55,33 @@ impl SchemeKind {
         SchemeKind::Whirlpool,
     ];
 
+    /// Every evaluated scheme, including the bypass ablations.
+    pub const ALL: [SchemeKind; 8] = [
+        SchemeKind::SNucaLru,
+        SchemeKind::SNucaDrrip,
+        SchemeKind::IdealSpd,
+        SchemeKind::Awasthi,
+        SchemeKind::Jigsaw,
+        SchemeKind::JigsawNoBypass,
+        SchemeKind::Whirlpool,
+        SchemeKind::WhirlpoolNoBypass,
+    ];
+
+    /// Parses a scheme name: the figure labels of [`label`](Self::label)
+    /// (case-insensitive, `_`/space tolerated) plus the `snuca-lru` /
+    /// `snuca-drrip` long forms.
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        let norm = s.trim().to_ascii_lowercase().replace(['_', ' '], "-");
+        match norm.as_str() {
+            "snuca-lru" => return Some(SchemeKind::SNucaLru),
+            "snuca-drrip" => return Some(SchemeKind::SNucaDrrip),
+            _ => {}
+        }
+        SchemeKind::ALL
+            .into_iter()
+            .find(|k| k.label().to_ascii_lowercase() == norm)
+    }
+
     /// Display name matching the paper's figure labels.
     pub fn label(self) -> &'static str {
         match self {
@@ -65,6 +99,17 @@ impl SchemeKind {
     /// Whether this scheme consumes static classification.
     pub fn uses_pools(self) -> bool {
         matches!(self, SchemeKind::Whirlpool | SchemeKind::WhirlpoolNoBypass)
+    }
+
+    /// The classification this scheme receives by default: the manual
+    /// Table-2 pools for Whirlpool variants, none for everything else
+    /// (which would ignore pools anyway).
+    pub fn default_classification(self) -> Classification {
+        if self.uses_pools() {
+            Classification::Manual
+        } else {
+            Classification::None
+        }
     }
 }
 
@@ -169,6 +214,12 @@ pub fn descriptors_for(
 /// least twice that, a 10 M floor, and ≥3 full phase cycles for phased
 /// apps.
 pub fn run_budget(app: &str) -> (u64, u64) {
+    if registry::trace_path(app).is_some() {
+        // Recorded traces replay raw by default: no warmup (the capture
+        // already includes the original run's warmup events) and run to
+        // exhaustion. Override via `RunSpec::warmup` / `RunSpec::measure`.
+        return (0, u64::MAX);
+    }
     let spec = registry::spec(app);
     // 4-core LLC (12.5 MB).
     let llc_lines = 200u64 * 1024;
@@ -240,32 +291,177 @@ pub fn run_single_app_with(
     instrs: u64,
     sys: SystemConfig,
 ) -> RunSummary {
+    RunSpec::new(kind, app)
+        .classification(classification)
+        .measure(instrs)
+        .system(sys)
+        .run()
+        .unwrap_or_else(|e| panic!("running '{app}' failed: {e}"))
+}
+
+/// Builds the workload bundle for `app` under a classification — the one
+/// shared app-lookup path. `app` is a registry name (`"delaunay"`) or a
+/// `trace:<path>` URI naming a recorded `.wpt` file.
+///
+/// For traces, [`Classification::None`] strips the recorded pools and any
+/// other classification replays them as recorded (a trace carries its
+/// producer's classification; WhirlTool cannot re-profile a registry
+/// model that is not there).
+///
+/// # Errors
+///
+/// Fails only for `trace:` apps whose file is missing or malformed.
+pub fn app_bundle(
+    app: &str,
+    classification: Classification,
+) -> Result<wp_sim::WorkloadBundle, wp_trace::TraceError> {
+    if let Some(path) = registry::trace_path(app) {
+        let with_pools = !matches!(classification, Classification::None);
+        return wp_sim::trace_bundle(path, 0, with_pools);
+    }
     let model = AppModel::new(registry::spec(app));
     let pools = descriptors_for(&model, app, classification);
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-    sim.attach(CoreId(0), model.bundle(pools));
-    let (warmup, _) = run_budget(app);
-    sim.run_with_warmup(warmup, instrs)
+    Ok(model.bundle(pools))
+}
+
+/// A fully specified single-core run: the one entry point the figure
+/// binaries, examples, `trace_tool`, and tests all share.
+///
+/// Defaults: the scheme's [default
+/// classification](SchemeKind::default_classification), the app's
+/// [`run_budget`], and the [`four_core_config`] system.
+///
+/// ```no_run
+/// use whirlpool_repro::harness::{RunSpec, SchemeKind};
+///
+/// // Capture a run...
+/// let live = RunSpec::new(SchemeKind::Whirlpool, "delaunay")
+///     .measure(1_000_000)
+///     .capture_to("/tmp/dt.wpt")
+///     .run()
+///     .unwrap();
+/// // ...and replay it through another scheme.
+/// let replayed = RunSpec::new(SchemeKind::Jigsaw, "trace:/tmp/dt.wpt")
+///     .run()
+///     .unwrap();
+/// assert!(replayed.cores[0].instructions > 0 && live.cores[0].instructions > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    kind: SchemeKind,
+    app: String,
+    classification: Classification,
+    warmup: Option<u64>,
+    measure: Option<u64>,
+    sys: SystemConfig,
+    capture_to: Option<PathBuf>,
+}
+
+impl RunSpec {
+    /// A run of `app` (registry name or `trace:<path>`) under `kind`,
+    /// with all defaults.
+    pub fn new(kind: SchemeKind, app: &str) -> Self {
+        Self {
+            kind,
+            app: app.to_string(),
+            classification: kind.default_classification(),
+            warmup: None,
+            measure: None,
+            sys: four_core_config(),
+            capture_to: None,
+        }
+    }
+
+    /// Overrides the classification.
+    #[must_use]
+    pub fn classification(mut self, c: Classification) -> Self {
+        self.classification = c;
+        self
+    }
+
+    /// Overrides the warmup budget (instructions).
+    ///
+    /// When replaying a `trace:` app, keep warmup + measure within the
+    /// recording's budgets: a trace that runs dry during warmup reports
+    /// its warmup-window statistics as the counted result (see
+    /// [`MultiCoreSim::run_with_warmup`]).
+    #[must_use]
+    pub fn warmup(mut self, instrs: u64) -> Self {
+        self.warmup = Some(instrs);
+        self
+    }
+
+    /// Overrides the measurement budget (instructions).
+    #[must_use]
+    pub fn measure(mut self, instrs: u64) -> Self {
+        self.measure = Some(instrs);
+        self
+    }
+
+    /// Overrides the system configuration.
+    #[must_use]
+    pub fn system(mut self, sys: SystemConfig) -> Self {
+        self.sys = sys;
+        self
+    }
+
+    /// Captures the run's full event stream (warmup included) to a
+    /// `.wpt` file.
+    #[must_use]
+    pub fn capture_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.capture_to = Some(path.into());
+        self
+    }
+
+    /// Runs on core 0 and returns the summary.
+    ///
+    /// # Errors
+    ///
+    /// Fails on capture I/O errors and on missing/malformed `trace:`
+    /// files; plain registry runs without capture cannot fail.
+    pub fn run(self) -> Result<RunSummary, wp_trace::TraceError> {
+        let (warmup_default, measure_default) = run_budget(&self.app);
+        let warmup = self.warmup.unwrap_or(warmup_default);
+        let measure = self.measure.unwrap_or(measure_default);
+        let bundle = app_bundle(&self.app, self.classification)?;
+        let mut cfg = wp_sim::SimConfig::new(self.sys.clone());
+        if let Some(path) = self.capture_to {
+            cfg = cfg.capture_to(path);
+        }
+        let mut sim = MultiCoreSim::with_config(cfg, make_scheme(self.kind, &self.sys))?;
+        sim.attach(CoreId(0), bundle);
+        let out = sim.run_with_warmup(warmup, measure);
+        sim.finish_capture()?;
+        Ok(out)
+    }
 }
 
 /// Runs a multi-program mix (one app per core, fixed-work, Appendix A).
-/// Whirlpool cores get the manual classification; other schemes ignore it.
+/// Whirlpool cores get the manual classification; other schemes ignore
+/// it. Apps may be registry names or `trace:<path>` URIs (a trace plays
+/// back in the address space it was recorded in).
 pub fn run_mix(kind: SchemeKind, apps: &[&str], instrs: u64, sys: SystemConfig) -> RunSummary {
     assert!(apps.len() <= sys.floorplan.num_cores());
     let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
     for (i, app) in apps.iter().enumerate() {
-        // Disjoint address spaces per process (1 TB apart).
-        let model = AppModel::new_with_base(registry::spec(app), (i as u64 + 1) << 28);
-        let pools = if kind.uses_pools() {
-            model.descriptors_manual()
+        let bundle = if let Some(path) = registry::trace_path(app) {
+            let mut b = wp_sim::trace_bundle(path, 0, kind.uses_pools())
+                .unwrap_or_else(|e| panic!("cannot open {app}: {e}"));
+            b.name = format!("{}.core{i}", b.name);
+            b
         } else {
-            Vec::new()
-        };
-        let trace = model.trace_seeded(0xC0FE + i as u64);
-        let bundle = wp_sim::WorkloadBundle {
-            trace: Box::new(trace),
-            pools,
-            name: format!("{app}.core{i}"),
+            // Disjoint address spaces per process (1 TB apart).
+            let model = AppModel::new_with_base(registry::spec(app), (i as u64 + 1) << 28);
+            let pools = if kind.uses_pools() {
+                model.descriptors_manual()
+            } else {
+                Vec::new()
+            };
+            wp_sim::WorkloadBundle {
+                trace: Box::new(model.trace_seeded(0xC0FE + i as u64)),
+                pools,
+                name: format!("{app}.core{i}"),
+            }
         };
         sim.attach(CoreId(i as u16), bundle);
     }
@@ -419,5 +615,61 @@ mod tests {
     fn speedup_math() {
         assert!((speedup_pct(120.0, 100.0) - 20.0).abs() < 1e-9);
         assert!(speedup_pct(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn scheme_parse_accepts_labels_and_aliases() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(SchemeKind::parse(kind.label()), Some(kind));
+            assert_eq!(SchemeKind::parse(&kind.label().to_lowercase()), Some(kind));
+        }
+        assert_eq!(SchemeKind::parse("snuca-lru"), Some(SchemeKind::SNucaLru));
+        assert_eq!(
+            SchemeKind::parse("SNUCA_DRRIP"),
+            Some(SchemeKind::SNucaDrrip)
+        );
+        assert_eq!(
+            SchemeKind::parse("whirlpool nobypass"),
+            Some(SchemeKind::WhirlpoolNoBypass)
+        );
+        assert_eq!(SchemeKind::parse("zcache"), None);
+    }
+
+    #[test]
+    fn default_classification_matches_pool_use() {
+        assert_eq!(
+            SchemeKind::Whirlpool.default_classification(),
+            Classification::Manual
+        );
+        assert_eq!(
+            SchemeKind::Jigsaw.default_classification(),
+            Classification::None
+        );
+    }
+
+    #[test]
+    fn runspec_capture_then_replay_matches() {
+        let path =
+            std::env::temp_dir().join(format!("wp-harness-capture-{}.wpt", std::process::id()));
+        let live = RunSpec::new(SchemeKind::SNucaLru, "delaunay")
+            .warmup(100_000)
+            .measure(200_000)
+            .capture_to(&path)
+            .run()
+            .unwrap();
+        let uri = format!("trace:{}", path.display());
+        let replayed = RunSpec::new(SchemeKind::SNucaLru, &uri)
+            .warmup(100_000)
+            .measure(200_000)
+            .run()
+            .unwrap();
+        assert_eq!(live.to_json(), replayed.to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_trace_file_is_an_error_not_a_panic() {
+        let out = RunSpec::new(SchemeKind::SNucaLru, "trace:/nonexistent/x.wpt").run();
+        assert!(out.is_err());
     }
 }
