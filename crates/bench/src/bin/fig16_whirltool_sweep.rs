@@ -1,9 +1,14 @@
 //! Fig. 16: WhirlTool speedup over Jigsaw with 2/3/4 pools across all 31
 //! apps, with the manual-classification result where one exists (Table 2).
+//!
+//! Runs on the parallel sweep engine: each app's event stream is captured
+//! once, then the Jigsaw baseline and every classification variant replay
+//! the *same* stream across `WP_JOBS` workers — the speedup columns
+//! compare schemes, never trace noise.
 
 use whirlpool::manual;
 use whirlpool_repro::harness::*;
-use wp_bench::measure_budget;
+use wp_bench::sweep::{CellWork, SweepSpec};
 use wp_workloads::registry;
 
 fn main() {
@@ -14,30 +19,47 @@ fn main() {
         "{:<10} {:>8} {:>8} {:>8} {:>8}",
         "app", "2 pools", "3 pools", "4 pools", "manual"
     );
+    let apps = registry::all_apps();
+    let mut spec = SweepSpec::new();
+    for app in &apps {
+        spec.push(
+            SchemeKind::Jigsaw,
+            CellWork::single(app, Classification::None),
+        );
+        for pools in [2usize, 3, 4] {
+            spec.push(
+                SchemeKind::Whirlpool,
+                CellWork::single(app, Classification::WhirlTool { pools, train: true }),
+            );
+        }
+        if manual::lookup(app).is_some() {
+            spec.push(
+                SchemeKind::Whirlpool,
+                CellWork::single(app, Classification::Manual),
+            );
+        }
+    }
+    let result = spec.run().unwrap_or_else(|e| panic!("sweep failed: {e}"));
+
+    let mut cells = result.cells.iter();
     let mut means = [0.0f64; 3];
     let mut n = 0;
-    for app in registry::all_apps() {
-        let measure = measure_budget(app);
-        let jig = run_single_app(SchemeKind::Jigsaw, app, Classification::None, measure);
-        let base = exec_cycles(&jig);
+    for app in &apps {
+        let jig = cells.next().expect("jigsaw cell");
+        let base = exec_cycles(&jig.summary);
         let mut row = format!("{app:<10}");
-        for (i, pools) in [2usize, 3, 4].iter().enumerate() {
-            let wt = run_single_app(
-                SchemeKind::Whirlpool,
-                app,
-                Classification::WhirlTool {
-                    pools: *pools,
-                    train: true,
-                },
-                measure,
-            );
-            let sp = speedup_pct(base, exec_cycles(&wt));
-            means[i] += sp;
+        for m in means.iter_mut() {
+            let wt = cells.next().expect("whirltool cell");
+            let sp = speedup_pct(base, exec_cycles(&wt.summary));
+            *m += sp;
             row.push_str(&format!(" {sp:>7.1}%"));
         }
         if manual::lookup(app).is_some() {
-            let m = run_single_app(SchemeKind::Whirlpool, app, Classification::Manual, measure);
-            row.push_str(&format!(" {:>7.1}%", speedup_pct(base, exec_cycles(&m))));
+            let man = cells.next().expect("manual cell");
+            row.push_str(&format!(
+                " {:>7.1}%",
+                speedup_pct(base, exec_cycles(&man.summary))
+            ));
         } else {
             row.push_str(&format!(" {:>8}", "-"));
         }
@@ -51,4 +73,7 @@ fn main() {
         means[2] / n as f64
     );
     println!("(paper: 3 pools is the right tradeoff; 4 adds little)");
+    if std::env::args().any(|a| a == "--json") {
+        println!("\n{}", result.to_json());
+    }
 }

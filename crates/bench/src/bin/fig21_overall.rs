@@ -1,8 +1,14 @@
 //! Fig. 21: overall performance, energy, and access breakdown across all
 //! 31 single-threaded benchmarks and six schemes, plus the bypass ablation.
+//!
+//! Runs on the parallel sweep engine: each app is captured once into the
+//! trace cache, then all (scheme × app) cells replay across `WP_JOBS`
+//! workers. Output is bit-identical at any job count. Pass `--json` for a
+//! machine-readable line with every cell's full summary.
 
 use whirlpool_repro::harness::*;
-use wp_bench::{classification_for, gmean, measure_budget, print_normalized};
+use wp_bench::sweep::SweepSpec;
+use wp_bench::{baseline_position, gmean, print_normalized};
 use wp_workloads::registry;
 
 fn main() {
@@ -25,29 +31,32 @@ fn main() {
     println!("Whirlpool; DRRIP 14%/+50%; IdealSPD 18%/+54%; Awasthi 15%/+40%; Jigsaw 3.9%/+8%.");
     println!("Bypassing: Jigsaw loses 0.2% without it, Whirlpool 1.2%.\n");
 
+    let result = SweepSpec::grid(&schemes, &apps)
+        .run()
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+
     let mut cycles: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut hits: Vec<f64> = vec![0.0; schemes.len()];
     let mut misses: Vec<f64> = vec![0.0; schemes.len()];
     let mut bypasses: Vec<f64> = vec![0.0; schemes.len()];
-    for app in &apps {
-        let measure = measure_budget(app);
-        eprintln!("running {app}...");
-        for (i, &kind) in schemes.iter().enumerate() {
-            let out = run_single_app(kind, app, classification_for(kind), measure);
-            cycles[i].push(exec_cycles(&out));
-            energy[i].push(out.energy_per_ki());
-            hits[i] += out.cores[0].llc_hpki();
-            misses[i] += out.cores[0].llc_mpki();
-            bypasses[i] += out.cores[0].llc_bpki();
-        }
+    // Grid cells are app-outermost, schemes innermost.
+    for (c, cell) in result.cells.iter().enumerate() {
+        let i = c % schemes.len();
+        let out = &cell.summary;
+        cycles[i].push(exec_cycles(out));
+        energy[i].push(out.energy_per_ki());
+        hits[i] += out.cores[0].llc_hpki();
+        misses[i] += out.cores[0].llc_mpki();
+        bypasses[i] += out.cores[0].llc_bpki();
     }
-    // Gmean slowdown vs Whirlpool (index 5).
+    // Gmean slowdown vs Whirlpool, looked up by kind (never by index).
+    let wp = baseline_position(&schemes, SchemeKind::Whirlpool);
     println!("\nGmean slowdown vs Whirlpool (%):");
     for (i, &kind) in schemes.iter().enumerate() {
         let ratios: Vec<f64> = cycles[i]
             .iter()
-            .zip(&cycles[5])
+            .zip(&cycles[wp])
             .map(|(&c, &w)| c / w)
             .collect();
         println!(
@@ -58,10 +67,10 @@ fn main() {
     }
     // Energy normalized to Whirlpool.
     let rows: Vec<(String, f64)> = {
-        let w = gmean(&energy[5]);
+        let w = gmean(&energy[wp]);
         let mut r = vec![("Whirlpool".to_string(), w)];
         for (i, &kind) in schemes.iter().enumerate() {
-            if i != 5 {
+            if i != wp {
                 r.push((kind.label().to_string(), gmean(&energy[i])));
             }
         }
@@ -83,5 +92,8 @@ fn main() {
             misses[i] / n,
             bypasses[i] / n
         );
+    }
+    if std::env::args().any(|a| a == "--json") {
+        println!("\n{}", result.to_json());
     }
 }

@@ -1,18 +1,17 @@
 //! Fig. 22: weighted speedup over Jigsaw for random multi-program SPEC
 //! mixes at 4 and 16 cores, with the bypass ablations.
+//!
+//! Runs on the parallel sweep engine: every (scheme, mix) run is an
+//! independent live simulation, so the whole grid fans out across
+//! `WP_JOBS` workers; results aggregate in deterministic mix order.
 
 use whirlpool_repro::harness::*;
 use wp_bench::n_mixes;
+use wp_bench::sweep::{CellWork, SweepSpec};
 use wp_workloads::mix::{random_mixes, weighted_speedup};
 
-fn run_mix_ipc(kind: SchemeKind, apps: &[&str], instrs: u64, cores16: bool) -> Vec<f64> {
-    let sys = if cores16 {
-        sixteen_core_config()
-    } else {
-        four_core_config()
-    };
-    let out = run_mix(kind, apps, instrs, sys);
-    out.cores.iter().take(apps.len()).map(|c| c.ipc()).collect()
+fn ipcs(summary: &wp_sim::RunSummary, cores: usize) -> Vec<f64> {
+    summary.cores.iter().take(cores).map(|c| c.ipc()).collect()
 }
 
 fn main() {
@@ -29,16 +28,24 @@ fn main() {
         let mixes = random_mixes(n, if cores16 { 16 } else { 4 }, 0xF1622);
         println!("=== {label}: {n} random SPEC mixes (paper: 20) ===");
         println!("Paper: Whirlpool beats Jigsaw by up to 13%/6.4% (5.1%/3.0% gmean).\n");
+        let mut spec = SweepSpec::new();
+        for mix in &mixes {
+            spec.push(SchemeKind::Jigsaw, CellWork::mix(mix, instrs, cores16));
+            for &k in &schemes {
+                spec.push(k, CellWork::mix(mix, instrs, cores16));
+            }
+        }
+        let result = spec.run().unwrap_or_else(|e| panic!("sweep failed: {e}"));
+
+        let mut cells = result.cells.iter();
         let mut all: Vec<(SchemeKind, Vec<f64>)> =
             schemes.iter().map(|&k| (k, Vec::new())).collect();
-        for (mi, mix) in mixes.iter().enumerate() {
-            let jig = run_mix_ipc(SchemeKind::Jigsaw, mix, instrs, cores16);
-            for (k, ws_acc) in all.iter_mut() {
-                let ipc = run_mix_ipc(*k, mix, instrs, cores16);
-                let ws = weighted_speedup(&ipc, &jig);
-                ws_acc.push(ws);
+        for mix in &mixes {
+            let jig = ipcs(&cells.next().expect("jigsaw cell").summary, mix.len());
+            for (_, ws_acc) in all.iter_mut() {
+                let ipc = ipcs(&cells.next().expect("scheme cell").summary, mix.len());
+                ws_acc.push(weighted_speedup(&ipc, &jig));
             }
-            eprintln!("  mix {mi} done: {:?}", &mix[..mix.len().min(4)]);
         }
         for (k, mut ws) in all {
             ws.sort_by(|a, b| b.partial_cmp(a).unwrap());

@@ -10,7 +10,13 @@
 //!   0.25 gives a quick pass for smoke-testing the harness).
 //! * `N_MIXES` — number of random mixes for `fig22_mixes` (default 8;
 //!   the paper uses 20).
+//! * `WP_JOBS` — worker threads for the [`sweep`] engine (default: all
+//!   available cores). Output is bit-identical at any job count.
+//! * `WP_TRACE_CACHE` — the sweep engine's `.wpt` cache directory
+//!   (default `target/wp-trace-cache`).
 #![forbid(unsafe_code)]
+
+pub mod sweep;
 
 use whirlpool_repro::harness::{run_budget, Classification, SchemeKind};
 
@@ -40,10 +46,15 @@ pub fn classification_for(kind: SchemeKind) -> Classification {
 }
 
 /// Prints a normalized bar table: rows of `(label, value)` normalized to
-/// the first row (the paper's "1.0 = baseline" bar charts).
+/// the first row (the paper's "1.0 = baseline" bar charts). An empty
+/// table prints its title and nothing else (it used to panic indexing
+/// `rows[0]`).
 pub fn print_normalized(title: &str, rows: &[(String, f64)]) {
-    println!("\n{title} (normalized to {}):", rows[0].0);
-    let base = rows[0].1;
+    let Some((base_label, base)) = rows.first() else {
+        println!("\n{title}: (no rows)");
+        return;
+    };
+    println!("\n{title} (normalized to {base_label}):");
     for (label, v) in rows {
         let norm = v / base;
         let bar = "#".repeat((norm * 40.0).round().min(80.0) as usize);
@@ -52,9 +63,33 @@ pub fn print_normalized(title: &str, rows: &[(String, f64)]) {
 }
 
 /// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice — the old behaviour silently returned `NaN`
+/// from a 0/0 division, which then poisoned every downstream figure row.
 pub fn gmean(values: &[f64]) -> f64 {
+    assert!(
+        !values.is_empty(),
+        "gmean of an empty slice (no runs produced values?)"
+    );
     let s: f64 = values.iter().map(|v| v.ln()).sum();
     (s / values.len() as f64).exp()
+}
+
+/// Index of `baseline` within `schemes` — the normalization row of the
+/// figure tables. Looking the baseline up (instead of hard-coding its
+/// index) means reordering a scheme array cannot silently normalize
+/// against the wrong scheme.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not in `schemes`.
+pub fn baseline_position(schemes: &[SchemeKind], baseline: SchemeKind) -> usize {
+    schemes
+        .iter()
+        .position(|&k| k == baseline)
+        .unwrap_or_else(|| panic!("baseline {} is not in the scheme set", baseline.label()))
 }
 
 /// Runs the full six-scheme breakdown of Figs. 10/19/20 for one app:
@@ -117,6 +152,32 @@ mod tests {
     fn gmean_mixed() {
         let g = gmean(&[1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gmean of an empty slice")]
+    fn gmean_empty_panics_not_nan() {
+        gmean(&[]);
+    }
+
+    #[test]
+    fn print_normalized_handles_empty_rows() {
+        // Used to panic indexing rows[0].
+        print_normalized("empty table", &[]);
+    }
+
+    #[test]
+    fn baseline_found_regardless_of_order() {
+        let a = [SchemeKind::SNucaLru, SchemeKind::Whirlpool];
+        let b = [SchemeKind::Whirlpool, SchemeKind::SNucaLru];
+        assert_eq!(baseline_position(&a, SchemeKind::Whirlpool), 1);
+        assert_eq!(baseline_position(&b, SchemeKind::Whirlpool), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the scheme set")]
+    fn missing_baseline_panics() {
+        baseline_position(&[SchemeKind::SNucaLru], SchemeKind::Whirlpool);
     }
 
     #[test]

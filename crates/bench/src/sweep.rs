@@ -1,0 +1,582 @@
+//! The parallel sweep engine: (scheme × app) grids over cached traces.
+//!
+//! The Fig. 16/21/22 sweeps used to re-generate every app's event stream
+//! live for every scheme, making a full 31-app × 8-scheme pass strictly
+//! serial and repeating identical work per cell. This module amortizes
+//! that work the way the trace subsystem was built for:
+//!
+//! 1. **Capture once.** Each registry app is captured exactly once into a
+//!    key-addressed `.wpt` cache (directory `WP_TRACE_CACHE`, default
+//!    `target/wp-trace-cache`; key = app name + warmup + measure budgets,
+//!    which fold in `RUN_SCALE`). The pulled event stream is independent
+//!    of the scheme and classification, so one capture serves every cell.
+//! 2. **Replay everywhere, in parallel.** Replay is read-only and the
+//!    whole sim/scheme/workload stack is `Send`, so (scheme × app) cells
+//!    fan out across a `WP_JOBS`-sized pool of `std::thread::scope`
+//!    workers. Results are collected in spec order, so the output is
+//!    bit-identical to a `WP_JOBS=1` run — parallelism is purely a
+//!    wall-clock lever.
+//!
+//! Multi-program mixes ([`CellWork::Mix`]) have no scheme-independent
+//! per-core stream length, so they run live — but still one mix per
+//! worker, which is where Fig. 22's wall-clock goes.
+//!
+//! ```no_run
+//! use wp_bench::sweep::{CellWork, SweepSpec};
+//! use whirlpool_repro::harness::SchemeKind;
+//!
+//! let result = SweepSpec::grid(
+//!     &[SchemeKind::SNucaLru, SchemeKind::Whirlpool],
+//!     &["delaunay", "mcf"],
+//! )
+//! .run()
+//! .unwrap();
+//! println!("{}", result.to_json());
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use whirlpool_repro::harness::{
+    descriptors_for, four_core_config, make_scheme, run_budget, run_mix_captured,
+    sixteen_core_config, Classification, RunSpec, SchemeKind,
+};
+use wp_noc::CoreId;
+use wp_sim::{MultiCoreSim, RunSummary, TraceWorkload, WorkloadBundle};
+use wp_trace::TraceError;
+use wp_workloads::{registry, AppModel};
+
+use crate::measure_budget;
+
+/// Worker-thread count: `WP_JOBS`, defaulting to every available core.
+pub fn default_jobs() -> usize {
+    std::env::var("WP_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Trace-cache directory: `WP_TRACE_CACHE`, default `target/wp-trace-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("WP_TRACE_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/wp-trace-cache"))
+}
+
+/// What one sweep cell runs.
+#[derive(Debug, Clone)]
+pub enum CellWork {
+    /// One app alone on core 0 of the 4-core chip, replayed from the
+    /// trace cache (registry apps) or directly from a `trace:<path>` URI.
+    Single {
+        /// Registry name or `trace:<path>` URI.
+        app: String,
+        /// Classification handed to the scheme.
+        classification: Classification,
+    },
+    /// A live multi-program mix (one app per core, fixed-work).
+    Mix {
+        /// One app per core (registry names or `trace:` URIs).
+        apps: Vec<String>,
+        /// Fixed-work measurement budget per core.
+        instrs: u64,
+        /// Run on the 16-core chip instead of the 4-core one.
+        cores16: bool,
+    },
+}
+
+impl CellWork {
+    /// A [`CellWork::Single`] cell.
+    pub fn single(app: &str, classification: Classification) -> Self {
+        CellWork::Single {
+            app: app.to_string(),
+            classification,
+        }
+    }
+
+    /// A [`CellWork::Mix`] cell.
+    pub fn mix(apps: &[&str], instrs: u64, cores16: bool) -> Self {
+        CellWork::Mix {
+            apps: apps.iter().map(|a| a.to_string()).collect(),
+            instrs,
+            cores16,
+        }
+    }
+
+    /// Short display label ("delaunay", "mcf+lbm+…").
+    fn label(&self) -> String {
+        match self {
+            CellWork::Single { app, .. } => app.clone(),
+            CellWork::Mix { apps, .. } => apps.join("+"),
+        }
+    }
+}
+
+/// One (scheme, workload) cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The scheme under evaluation.
+    pub scheme: SchemeKind,
+    /// The workload it runs.
+    pub work: CellWork,
+}
+
+/// A sweep: an ordered list of cells plus engine knobs.
+#[derive(Debug)]
+pub struct SweepSpec {
+    cells: Vec<SweepCell>,
+    jobs: usize,
+    cache_dir: PathBuf,
+    warmup_override: Option<u64>,
+    measure_override: Option<u64>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty sweep with environment-default jobs and cache directory.
+    pub fn new() -> Self {
+        Self {
+            cells: Vec::new(),
+            jobs: default_jobs(),
+            cache_dir: default_cache_dir(),
+            warmup_override: None,
+            measure_override: None,
+        }
+    }
+
+    /// The full (scheme × app) grid, apps outermost, with each scheme's
+    /// [default classification](SchemeKind::default_classification) — the
+    /// Fig. 21 shape.
+    pub fn grid(schemes: &[SchemeKind], apps: &[&str]) -> Self {
+        let mut spec = Self::new();
+        for app in apps {
+            for &scheme in schemes {
+                spec.push(
+                    scheme,
+                    CellWork::single(app, scheme.default_classification()),
+                );
+            }
+        }
+        spec
+    }
+
+    /// Appends one cell. Cells run in insertion order as far as results
+    /// are concerned, whatever the worker interleaving.
+    pub fn push(&mut self, scheme: SchemeKind, work: CellWork) {
+        self.cells.push(SweepCell { scheme, work });
+    }
+
+    /// Overrides the worker-thread count (`WP_JOBS` otherwise).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides the trace-cache directory (`WP_TRACE_CACHE` otherwise).
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = dir.into();
+        self
+    }
+
+    /// Overrides every single-app cell's warmup/measure budgets (the
+    /// per-app [`run_budget`]/[`measure_budget`] otherwise). The trace
+    /// cache is keyed on the budgets actually used.
+    #[must_use]
+    pub fn budgets(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_override = Some(warmup);
+        self.measure_override = Some(measure);
+        self
+    }
+
+    /// The number of cells queued.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Warmup/measure budgets of a registry app under this sweep.
+    fn budgets_for(&self, app: &str) -> (u64, u64) {
+        let warmup = self.warmup_override.unwrap_or_else(|| run_budget(app).0);
+        let measure = self.measure_override.unwrap_or_else(|| measure_budget(app));
+        (warmup, measure)
+    }
+
+    /// Cache file for one (app, budgets) capture. The budgets are the
+    /// invalidation key: changing `RUN_SCALE` changes the measurement
+    /// budget and therefore the file name, so stale captures are never
+    /// replayed.
+    fn cache_path(&self, app: &str, warmup: u64, measure: u64) -> PathBuf {
+        self.cache_dir
+            .join(format!("{app}-w{warmup}-m{measure}.wpt"))
+    }
+
+    /// Runs the sweep: captures missing traces (in parallel), then fans
+    /// the cells across the worker pool. Results come back in cell
+    /// insertion order regardless of `jobs`, so output built from them is
+    /// bit-identical to a serial run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on capture I/O errors and on missing/malformed `trace:`
+    /// files; the first error wins.
+    pub fn run(self) -> Result<SweepResult, TraceError> {
+        // Plan the captures: each registry app once per distinct budget.
+        let mut captures: Vec<(String, u64, u64, PathBuf)> = Vec::new();
+        for cell in &self.cells {
+            if let CellWork::Single { app, .. } = &cell.work {
+                if registry::trace_path(app).is_none() {
+                    let (w, m) = self.budgets_for(app);
+                    let path = self.cache_path(app, w, m);
+                    if !captures.iter().any(|(_, _, _, p)| *p == path) {
+                        captures.push((app.clone(), w, m, path));
+                    }
+                }
+            }
+        }
+        let (missing, warm): (Vec<_>, Vec<_>) =
+            captures.into_iter().partition(|(_, _, _, p)| !p.exists());
+        let cache_hits = warm.len();
+        let cache_misses = missing.len();
+        if !missing.is_empty() {
+            std::fs::create_dir_all(&self.cache_dir)?;
+            eprintln!(
+                "[sweep] capturing {} app(s) into {} ({} warm)",
+                missing.len(),
+                self.cache_dir.display(),
+                cache_hits,
+            );
+            parallel_map(self.jobs, missing.len(), |i| {
+                let (app, warmup, measure, path) = &missing[i];
+                capture_app(app, *warmup, *measure, path)
+            })?;
+        }
+        // Fan the cells out.
+        let total = self.cells.len();
+        let done = AtomicUsize::new(0);
+        let summaries = parallel_map(self.jobs, total, |i| {
+            let cell = &self.cells[i];
+            let summary = self.run_cell(cell)?;
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "[sweep] {n}/{total} {} / {}",
+                cell.scheme.label(),
+                cell.work.label()
+            );
+            Ok(summary)
+        })?;
+        let cells = self
+            .cells
+            .into_iter()
+            .zip(summaries)
+            .map(|(cell, summary)| CellResult {
+                scheme: cell.scheme,
+                work: cell.work,
+                summary,
+            })
+            .collect();
+        Ok(SweepResult {
+            cells,
+            cache_hits,
+            cache_misses,
+        })
+    }
+
+    fn run_cell(&self, cell: &SweepCell) -> Result<RunSummary, TraceError> {
+        match &cell.work {
+            CellWork::Single {
+                app,
+                classification,
+            } => {
+                let (bundle, warmup, measure) = if let Some(path) = registry::trace_path(app) {
+                    // A user-supplied recording: replay raw (its own
+                    // warmup is baked in) unless budgets are overridden.
+                    let with_pools = !matches!(classification, Classification::None);
+                    (
+                        wp_sim::trace_bundle(path, 0, with_pools)?,
+                        self.warmup_override.unwrap_or(0),
+                        self.measure_override.unwrap_or(u64::MAX),
+                    )
+                } else {
+                    // A cached capture: the event stream comes from the
+                    // cache; the pools are rebuilt from the registry model
+                    // so per-cell classifications (Fig. 16's WhirlTool
+                    // 2/3/4-pool variants) replay against the same stream.
+                    let (w, m) = self.budgets_for(app);
+                    let model = AppModel::new(registry::spec(app));
+                    let pools = descriptors_for(&model, app, *classification);
+                    let bundle = WorkloadBundle {
+                        trace: Box::new(TraceWorkload::open(&self.cache_path(app, w, m))?),
+                        pools,
+                        name: app.clone(),
+                    };
+                    (bundle, w, m)
+                };
+                let sys = four_core_config();
+                let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(cell.scheme, &sys));
+                sim.attach(CoreId(0), bundle);
+                Ok(sim.run_with_warmup(warmup, measure))
+            }
+            CellWork::Mix {
+                apps,
+                instrs,
+                cores16,
+            } => {
+                let sys = if *cores16 {
+                    sixteen_core_config()
+                } else {
+                    four_core_config()
+                };
+                let refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+                run_mix_captured(cell.scheme, &refs, *instrs, sys, None)
+            }
+        }
+    }
+}
+
+/// Captures `app` once under the cheapest scheme. The driver pulls
+/// events purely by instruction count, so the recorded stream is
+/// identical whichever scheme (or classification) the capture ran under —
+/// one capture serves every cell. The write goes through a temp file and
+/// an atomic rename so concurrent sweeps never replay a half-written
+/// capture.
+fn capture_app(app: &str, warmup: u64, measure: u64, path: &Path) -> Result<(), TraceError> {
+    // Unique per process *and* per capture: concurrent sweeps in one
+    // process (tests sharing a cache dir) must never write the same
+    // temp file.
+    static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = RunSpec::new(SchemeKind::SNucaLru, app)
+        .classification(Classification::None)
+        .warmup(warmup)
+        .measure(measure)
+        .capture_to(&tmp)
+        .run()
+        .and_then(|_| Ok(std::fs::rename(&tmp, path)?));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Runs `f(0..n)` on a pool of `jobs` scoped worker threads, returning
+/// results in index order. The whole simulation stack is `Send`, so each
+/// worker owns its cells end to end; the first error wins.
+fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, TraceError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, TraceError> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    // Early abort: once any cell errors, workers stop claiming new cells
+    // instead of simulating the rest of the grid before failing.
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, TraceError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                if r.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    let mut collected: Vec<Option<Result<T, TraceError>>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot"))
+        .collect();
+    // The lowest-index error wins; slots left unclaimed by the abort
+    // (always at higher indices than the error) are simply dropped.
+    if let Some(i) = collected.iter().position(|r| matches!(r, Some(Err(_)))) {
+        match collected.swap_remove(i) {
+            Some(Err(e)) => return Err(e),
+            _ => unreachable!("position() found an Err here"),
+        }
+    }
+    collected
+        .into_iter()
+        .map(|r| match r {
+            Some(Ok(v)) => Ok(v),
+            _ => panic!("a worker abandoned a slot without reporting an error"),
+        })
+        .collect()
+}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The scheme that ran.
+    pub scheme: SchemeKind,
+    /// What it ran.
+    pub work: CellWork,
+    /// The run's summary.
+    pub summary: RunSummary,
+}
+
+/// A completed sweep: cell results in spec order plus cache statistics.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-cell results, in the order the cells were pushed.
+    pub cells: Vec<CellResult>,
+    /// Captures found warm in the cache.
+    pub cache_hits: usize,
+    /// Captures that had to run.
+    pub cache_misses: usize,
+}
+
+impl SweepResult {
+    /// One machine-readable JSON line for the whole sweep. Deliberately
+    /// excludes the job count and cache statistics so the emission is
+    /// bit-identical whatever `WP_JOBS` and cache temperature were.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"scheme\":{},\"work\":{},\"summary\":{}}}",
+                    wp_sim::json_string(c.scheme.label()),
+                    work_json(&c.work),
+                    c.summary.to_json(),
+                )
+            })
+            .collect();
+        format!("{{\"cells\":[{}]}}", cells.join(","))
+    }
+}
+
+fn work_json(work: &CellWork) -> String {
+    match work {
+        CellWork::Single {
+            app,
+            classification,
+        } => format!(
+            "{{\"app\":{},\"classification\":{}}}",
+            wp_sim::json_string(app),
+            wp_sim::json_string(&classification_label(*classification)),
+        ),
+        CellWork::Mix {
+            apps,
+            instrs,
+            cores16,
+        } => {
+            let list: Vec<String> = apps.iter().map(|a| wp_sim::json_string(a)).collect();
+            format!(
+                "{{\"apps\":[{}],\"instrs\":{instrs},\"cores\":{}}}",
+                list.join(","),
+                if *cores16 { 16 } else { 4 },
+            )
+        }
+    }
+}
+
+fn classification_label(c: Classification) -> String {
+    match c {
+        Classification::None => "none".into(),
+        Classification::Manual => "manual".into(),
+        Classification::WhirlTool { pools, train } => {
+            format!("whirltool-{pools}-{}", if train { "train" } else { "ref" })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_orders_apps_outermost() {
+        let spec = SweepSpec::grid(
+            &[SchemeKind::SNucaLru, SchemeKind::Whirlpool],
+            &["delaunay", "mcf"],
+        );
+        assert_eq!(spec.len(), 4);
+        let labels: Vec<String> = spec
+            .cells
+            .iter()
+            .map(|c| format!("{}/{}", c.scheme.label(), c.work.label()))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "LRU/delaunay",
+                "Whirlpool/delaunay",
+                "LRU/mcf",
+                "Whirlpool/mcf"
+            ]
+        );
+    }
+
+    #[test]
+    fn cache_path_keys_on_app_and_budgets() {
+        let spec = SweepSpec::new().cache_dir("/tmp/c");
+        let a = spec.cache_path("delaunay", 100, 200);
+        let b = spec.cache_path("delaunay", 100, 300);
+        let c = spec.cache_path("mcf", 100, 200);
+        assert_ne!(a, b, "measure budget is part of the key");
+        assert_ne!(a, c, "app name is part of the key");
+        assert_eq!(a, spec.cache_path("delaunay", 100, 200), "key is stable");
+    }
+
+    #[test]
+    fn classification_labels_are_distinct() {
+        let all = [
+            classification_label(Classification::None),
+            classification_label(Classification::Manual),
+            classification_label(Classification::WhirlTool {
+                pools: 3,
+                train: true,
+            }),
+            classification_label(Classification::WhirlTool {
+                pools: 3,
+                train: false,
+            }),
+        ];
+        let set: std::collections::HashSet<&String> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_errors() {
+        let out = parallel_map(4, 16, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        let err = parallel_map(4, 8, |i| {
+            if i == 3 {
+                Err(TraceError::Corrupt("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(err.is_err());
+    }
+}

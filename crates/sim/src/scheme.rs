@@ -23,12 +23,16 @@ pub struct TraceEvent {
 }
 
 /// A workload: an infinite (or finite) LLC-bound access stream.
-pub trait Workload {
+///
+/// Workloads are `Send` so a whole simulation — bundle, scheme, driver —
+/// can be handed to a worker thread; the parallel sweep runner fans
+/// (scheme × app) cells across a thread pool on this guarantee.
+pub trait Workload: Send {
     /// The next event, or `None` when the workload has finished.
     fn next_event(&mut self) -> Option<TraceEvent>;
 }
 
-impl<F: FnMut() -> Option<TraceEvent>> Workload for F {
+impl<F: FnMut() -> Option<TraceEvent> + Send> Workload for F {
     fn next_event(&mut self) -> Option<TraceEvent> {
         self()
     }
@@ -94,7 +98,11 @@ pub struct LlcResponse {
 /// Implementations receive every LLC-bound access, charge latency/energy
 /// through the [`Uncore`] helpers (so accounting is identical across
 /// schemes), and may reorganize themselves at reconfiguration boundaries.
-pub trait LlcScheme {
+///
+/// Like [`Workload`], schemes are `Send`: every evaluated scheme is plain
+/// data, and the parallel sweep runner runs one simulator per worker
+/// thread.
+pub trait LlcScheme: Send {
     /// Scheme name for reports ("S-NUCA (LRU)", "Jigsaw", "Whirlpool", …).
     fn name(&self) -> String;
 
@@ -173,6 +181,18 @@ mod tests {
         assert!(w.next_event().is_some());
         assert!(w.next_event().is_some());
         assert!(w.next_event().is_none());
+    }
+
+    #[test]
+    fn simulation_stack_is_send() {
+        // Compile-time guarantee the sweep runner relies on: bundles,
+        // boxed schemes, and whole simulators cross thread boundaries.
+        fn assert_send<T: Send>() {}
+        assert_send::<WorkloadBundle>();
+        assert_send::<Box<dyn Workload>>();
+        assert_send::<Box<dyn LlcScheme>>();
+        assert_send::<crate::MultiCoreSim<Box<dyn LlcScheme>>>();
+        assert_send::<crate::RunSummary>();
     }
 
     #[test]

@@ -1,26 +1,33 @@
 //! `trace_tool` — record, inspect, and replay `.wpt` access traces.
 //!
 //! ```text
-//! trace_tool record <app> --out <file> [--scheme S] [--classification C]
+//! trace_tool record <app>... --out <file> [--scheme S] [--classification C]
 //!                          [--warmup N] [--measure N] [--sixteen-core]
 //! trace_tool info   <file>
 //! trace_tool dump   <file> [--limit N] [--stream K]
-//! trace_tool replay <file> [--scheme S | --all-schemes]
+//! trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
 //!                          [--warmup N] [--measure N] [--no-pools] [--sixteen-core]
 //! ```
 //!
-//! `record` runs a registry app under a scheme and captures every pulled
-//! event; `replay` drives a recorded file through one scheme (or the full
-//! Fig. 10 set), printing one JSON [`RunSummary`] line per scheme.
-//! Replaying with the warmup/measure budgets of the recording reproduces
-//! its statistics bit for bit.
+//! `record` runs one registry app — or, with several apps, a whole
+//! multi-program mix (one app per core, one stream per core) — under a
+//! scheme and captures every pulled event; `replay` drives a recorded
+//! file through one scheme (or the full Fig. 10 set), printing one JSON
+//! [`RunSummary`] line per scheme. By default replay attaches stream 0;
+//! `--stream K` picks another core's stream, and `--mix` re-attaches
+//! *every* stream of a multi-core capture to its own core. Replaying with
+//! the warmup/measure budgets of the recording reproduces its statistics
+//! bit for bit (mix captures: `--warmup 6000000`, the fixed mix warmup).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use whirlpool_repro::harness::{
-    run_budget, sixteen_core_config, Classification, RunSpec, SchemeKind,
+    four_core_config, make_scheme, run_budget, run_mix_captured, sixteen_core_config,
+    Classification, RunSpec, SchemeKind, MIX_WARMUP_INSTRS,
 };
+use wp_noc::CoreId;
+use wp_sim::MultiCoreSim;
 use wp_trace::{TraceInfo, TraceReader};
 
 fn main() -> ExitCode {
@@ -48,12 +55,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  trace_tool record <app> --out <file> [--scheme S] [--classification none|manual|auto]
+  trace_tool record <app>... --out <file> [--scheme S] [--classification none|manual|auto]
                     [--warmup N] [--measure N] [--sixteen-core]
+                    (several apps record a multi-program mix, one stream per core)
   trace_tool info   <file>
   trace_tool dump   <file> [--limit N] [--stream K]
-  trace_tool replay <file> [--scheme S | --all-schemes] [--warmup N] [--measure N]
-                    [--no-pools] [--sixteen-core]
+  trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
+                    [--warmup N] [--measure N] [--no-pools] [--sixteen-core]
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
          Whirlpool, Whirlpool-NoBypass
@@ -140,13 +148,59 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         ],
         &["--sixteen-core"],
     )?;
-    let [app] = args.positional[..] else {
-        return Err("record takes exactly one app name".into());
-    };
+    if args.positional.is_empty() {
+        return Err("record takes at least one app name".into());
+    }
     let out = PathBuf::from(args.value("--out").ok_or("record needs --out <file>")?);
     let kind = args
         .value("--scheme")
         .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?;
+    for app in &args.positional {
+        if wp_workloads::registry::trace_path(app).is_none()
+            && !wp_workloads::registry::all_apps().contains(app)
+        {
+            return Err(format!(
+                "unknown app '{app}' (expected a registry name or trace:<path>)"
+            ));
+        }
+    }
+    if let [_, _, ..] = args.positional[..] {
+        // Several apps: record a whole multi-program mix, one stream per
+        // core. Mixes use the fixed shared warmup and run_mix's
+        // per-scheme classification, so the single-app-only flags error.
+        if args.value("--classification").is_some() {
+            return Err("--classification applies to single-app records only".into());
+        }
+        if args.number("--warmup")?.is_some() {
+            return Err(format!(
+                "mix records use the fixed shared warmup ({MIX_WARMUP_INSTRS}); \
+                 --warmup applies to single-app records only"
+            ));
+        }
+        let sys = if args.flag("--sixteen-core") {
+            sixteen_core_config()
+        } else {
+            four_core_config()
+        };
+        if args.positional.len() > sys.floorplan.num_cores() {
+            return Err(format!(
+                "{} apps exceed the {}-core chip (try --sixteen-core)",
+                args.positional.len(),
+                sys.floorplan.num_cores()
+            ));
+        }
+        let measure = args.number("--measure")?.unwrap_or(8_000_000);
+        eprintln!(
+            "recording mix {:?} under {} (warmup {MIX_WARMUP_INSTRS}, measure {measure})...",
+            args.positional,
+            kind.label(),
+        );
+        let summary = run_mix_captured(kind, &args.positional, measure, sys, Some(out.clone()))
+            .map_err(|e| e.to_string())?;
+        println!("{}", summary.to_json());
+        return validate_capture(&out);
+    }
+    let app = args.positional[0];
     let classification = match args.value("--classification") {
         None => kind.default_classification(),
         Some("none") => Classification::None,
@@ -157,13 +211,6 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         },
         Some(other) => return Err(format!("unknown classification '{other}'")),
     };
-    if wp_workloads::registry::trace_path(app).is_none()
-        && !wp_workloads::registry::all_apps().contains(&app)
-    {
-        return Err(format!(
-            "unknown app '{app}' (expected a registry name or trace:<path>)"
-        ));
-    }
     let spec = apply_common(
         RunSpec::new(kind, app)
             .classification(classification)
@@ -179,9 +226,13 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
     );
     let summary = spec.run().map_err(|e| e.to_string())?;
     println!("{}", summary.to_json());
-    // Deliberate full re-read: validates every checksum of the file we
-    // just wrote before anyone ships it, and yields the summary line.
-    let info = TraceInfo::scan(&out).map_err(|e| e.to_string())?;
+    validate_capture(&out)
+}
+
+/// Deliberate full re-read: validates every checksum of the file we just
+/// wrote before anyone ships it, and yields the summary line.
+fn validate_capture(out: &Path) -> Result<(), String> {
+    let info = TraceInfo::scan(out).map_err(|e| e.to_string())?;
     eprintln!(
         "wrote and validated {} ({} events, {} bytes, {:.2}x vs naive encoding)",
         out.display(),
@@ -286,12 +337,13 @@ fn cmd_dump(rest: &[String]) -> Result<(), String> {
 fn cmd_replay(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(
         rest,
-        &["--scheme", "--warmup", "--measure"],
-        &["--all-schemes", "--no-pools", "--sixteen-core"],
+        &["--scheme", "--warmup", "--measure", "--stream"],
+        &["--all-schemes", "--no-pools", "--sixteen-core", "--mix"],
     )?;
     let [file] = args.positional[..] else {
         return Err("replay takes exactly one trace file".into());
     };
+    let path = Path::new(file);
     let kinds: Vec<SchemeKind> = if args.flag("--all-schemes") {
         SchemeKind::FIG10.to_vec()
     } else {
@@ -299,14 +351,46 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
             .value("--scheme")
             .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?]
     };
-    let uri = format!("trace:{file}");
-    for kind in kinds {
-        let mut spec = RunSpec::new(kind, &uri);
-        if args.flag("--no-pools") {
-            spec = spec.classification(Classification::None);
+    let stream = args.number("--stream")?;
+    if args.flag("--mix") && stream.is_some() {
+        return Err("--mix re-attaches every stream; it conflicts with --stream".into());
+    }
+    let with_pools = !args.flag("--no-pools");
+    let warmup = args.number("--warmup")?.unwrap_or(0);
+    let measure = args.number("--measure")?.unwrap_or(u64::MAX);
+    let sys = if args.flag("--sixteen-core") {
+        sixteen_core_config()
+    } else {
+        four_core_config()
+    };
+    // The streams to attach: every stream of the capture (--mix), one
+    // chosen stream (--stream K), or stream 0. Out-of-range indices fail
+    // below when the bundle lookup finds no such stream definition.
+    let streams: Vec<u16> = if args.flag("--mix") {
+        let info = TraceInfo::scan(path).map_err(|e| e.to_string())?;
+        if info.streams.is_empty() {
+            return Err(format!("{file} defines no streams"));
         }
-        let spec = apply_common(spec, &args)?;
-        let summary = spec.run().map_err(|e| e.to_string())?;
+        info.streams.iter().map(|s| s.meta.id).collect()
+    } else {
+        let k = stream.unwrap_or(0);
+        vec![u16::try_from(k)
+            .map_err(|_| format!("stream index {k} is out of range (max 65535)"))?]
+    };
+    if streams.len() > sys.floorplan.num_cores() {
+        return Err(format!(
+            "{file} has {} streams but the chip has only {} cores (try --sixteen-core)",
+            streams.len(),
+            sys.floorplan.num_cores(),
+        ));
+    }
+    for kind in kinds {
+        let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
+        for (core, &sid) in streams.iter().enumerate() {
+            let bundle = wp_sim::trace_bundle(path, sid, with_pools).map_err(|e| e.to_string())?;
+            sim.attach(CoreId(core as u16), bundle);
+        }
+        let summary = sim.run_with_warmup(warmup, measure);
         println!("{}", summary.to_json());
     }
     Ok(())

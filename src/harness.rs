@@ -436,37 +436,87 @@ impl RunSpec {
     }
 }
 
+/// Shared warmup budget of multi-program mixes: enough for the mix's
+/// caches and monitors to settle. Replaying a mix capture with this
+/// warmup (and the recording's measurement budget) reproduces the
+/// original statistics bit for bit.
+pub const MIX_WARMUP_INSTRS: u64 = 6_000_000;
+
+/// Base *page* of core `core`'s address space in a multi-program mix:
+/// processes are spaced 1 TB apart (far beyond any model's footprint) so
+/// pages never collide across cores, as real virtual memory provides.
+pub fn mix_base_page(core: usize) -> u64 {
+    const TB: u64 = 1 << 40;
+    (core as u64 + 1) * (TB / wp_mem::PAGE_BYTES)
+}
+
+/// Builds core `core`'s workload bundle for a multi-program mix: a
+/// registry model instantiated in that core's [disjoint address
+/// space](mix_base_page), or a `trace:<path>` recording (which plays back
+/// in the address space it was recorded in).
+///
+/// # Errors
+///
+/// Fails only for `trace:` apps whose file is missing or malformed.
+pub fn mix_bundle(
+    kind: SchemeKind,
+    app: &str,
+    core: usize,
+) -> Result<wp_sim::WorkloadBundle, wp_trace::TraceError> {
+    if let Some(path) = registry::trace_path(app) {
+        let mut b = wp_sim::trace_bundle(path, 0, kind.uses_pools())?;
+        b.name = format!("{}.core{core}", b.name);
+        return Ok(b);
+    }
+    let model = AppModel::new_with_base(registry::spec(app), mix_base_page(core));
+    let pools = if kind.uses_pools() {
+        model.descriptors_manual()
+    } else {
+        Vec::new()
+    };
+    Ok(wp_sim::WorkloadBundle {
+        trace: Box::new(model.trace_seeded(0xC0FE + core as u64)),
+        pools,
+        name: format!("{app}.core{core}"),
+    })
+}
+
 /// Runs a multi-program mix (one app per core, fixed-work, Appendix A).
 /// Whirlpool cores get the manual classification; other schemes ignore
 /// it. Apps may be registry names or `trace:<path>` URIs (a trace plays
 /// back in the address space it was recorded in).
 pub fn run_mix(kind: SchemeKind, apps: &[&str], instrs: u64, sys: SystemConfig) -> RunSummary {
+    run_mix_captured(kind, apps, instrs, sys, None)
+        .unwrap_or_else(|e| panic!("running mix {apps:?} failed: {e}"))
+}
+
+/// [`run_mix`] with an optional capture: with `capture_to` set, every
+/// pulled event of every core is recorded to one `.wpt` file (one stream
+/// per core, pool tables in the stream headers), so the whole mix can be
+/// re-attached later via `trace_tool replay --mix`.
+///
+/// # Errors
+///
+/// Fails on capture I/O errors and on missing/malformed `trace:` apps.
+pub fn run_mix_captured(
+    kind: SchemeKind,
+    apps: &[&str],
+    instrs: u64,
+    sys: SystemConfig,
+    capture_to: Option<PathBuf>,
+) -> Result<RunSummary, wp_trace::TraceError> {
     assert!(apps.len() <= sys.floorplan.num_cores());
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-    for (i, app) in apps.iter().enumerate() {
-        let bundle = if let Some(path) = registry::trace_path(app) {
-            let mut b = wp_sim::trace_bundle(path, 0, kind.uses_pools())
-                .unwrap_or_else(|e| panic!("cannot open {app}: {e}"));
-            b.name = format!("{}.core{i}", b.name);
-            b
-        } else {
-            // Disjoint address spaces per process (1 TB apart).
-            let model = AppModel::new_with_base(registry::spec(app), (i as u64 + 1) << 28);
-            let pools = if kind.uses_pools() {
-                model.descriptors_manual()
-            } else {
-                Vec::new()
-            };
-            wp_sim::WorkloadBundle {
-                trace: Box::new(model.trace_seeded(0xC0FE + i as u64)),
-                pools,
-                name: format!("{app}.core{i}"),
-            }
-        };
-        sim.attach(CoreId(i as u16), bundle);
+    let mut cfg = wp_sim::SimConfig::new(sys.clone());
+    if let Some(path) = capture_to {
+        cfg = cfg.capture_to(path);
     }
-    // Shared warmup: enough for the mix's caches and monitors to settle.
-    sim.run_with_warmup(6_000_000, instrs)
+    let mut sim = MultiCoreSim::with_config(cfg, make_scheme(kind, &sys))?;
+    for (i, app) in apps.iter().enumerate() {
+        sim.attach(CoreId(i as u16), mix_bundle(kind, app, i)?);
+    }
+    let out = sim.run_with_warmup(MIX_WARMUP_INSTRS, instrs);
+    sim.finish_capture()?;
+    Ok(out)
 }
 
 /// Result of a parallel-app run.
@@ -671,5 +721,42 @@ mod tests {
     fn missing_trace_file_is_an_error_not_a_panic() {
         let out = RunSpec::new(SchemeKind::SNucaLru, "trace:/nonexistent/x.wpt").run();
         assert!(out.is_err());
+    }
+
+    #[test]
+    fn mix_address_spaces_are_1tb_apart_and_disjoint() {
+        // Regression test for the run_mix spacing: `mix_base_page` is a
+        // *page* id, so consecutive cores' byte bases must sit exactly
+        // 1 TB apart, and no two per-core bundles' pool page ranges may
+        // overlap.
+        const TB: u64 = 1 << 40;
+        for core in 0..16 {
+            let base_bytes = mix_base_page(core) * wp_mem::PAGE_BYTES;
+            assert_eq!(base_bytes, (core as u64 + 1) * TB, "core {core} base");
+        }
+        // The largest-footprint apps in the registry, Whirlpool-classified
+        // so every pool's pages are present in the bundles.
+        let apps = ["MIS", "lbm", "mcf", "sort"];
+        let spans: Vec<(u64, u64)> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                let b = mix_bundle(SchemeKind::Whirlpool, app, i).unwrap();
+                assert!(!b.pools.is_empty(), "{app} has pools");
+                let pages = b.pools.iter().flat_map(|p| p.pages.iter());
+                let lo = pages.clone().map(|p| p.0).min().unwrap();
+                let hi = pages.map(|p| p.0).max().unwrap();
+                assert!(lo >= mix_base_page(i), "{app} starts in its region");
+                (lo, hi)
+            })
+            .collect();
+        for (i, a) in spans.iter().enumerate() {
+            for (j, b) in spans.iter().enumerate().skip(i + 1) {
+                assert!(
+                    a.1 < b.0 || b.1 < a.0,
+                    "core {i} pages {a:?} overlap core {j} pages {b:?}"
+                );
+            }
+        }
     }
 }

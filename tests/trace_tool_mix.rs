@@ -1,0 +1,114 @@
+//! Multi-core capture ergonomics: `trace_tool replay --stream K` and
+//! `--mix` drive real multi-stream `.wpt` captures, and a mix replay with
+//! the recording's budgets reproduces the live run bit for bit.
+
+use std::process::Command;
+
+use whirlpool_repro::harness::{four_core_config, run_mix_captured, SchemeKind};
+
+const MEASURE: u64 = 300_000;
+
+fn trace_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+}
+
+fn capture_mix(tag: &str) -> (std::path::PathBuf, String) {
+    let path = std::env::temp_dir().join(format!("wp-tt-mix-{}-{tag}.wpt", std::process::id()));
+    let live = run_mix_captured(
+        SchemeKind::Whirlpool,
+        &["delaunay", "mcf"],
+        MEASURE,
+        four_core_config(),
+        Some(path.clone()),
+    )
+    .expect("mix capture");
+    (path, live.to_json())
+}
+
+#[test]
+fn mix_replay_reproduces_the_live_mix_bit_for_bit() {
+    let (path, live_json) = capture_mix("roundtrip");
+    let out = trace_tool()
+        .args([
+            "replay",
+            path.to_str().unwrap(),
+            "--mix",
+            "--scheme",
+            "Whirlpool",
+            "--warmup",
+            "6000000", // MIX_WARMUP_INSTRS
+            "--measure",
+            &MEASURE.to_string(),
+        ])
+        .output()
+        .expect("run trace_tool");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replay_json = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(replay_json.trim(), live_json, "mix replay diverged");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn stream_flag_selects_one_core_of_a_mix_capture() {
+    let (path, _) = capture_mix("stream");
+    // Stream 1 is mcf's core: replaying it alone works...
+    let out = trace_tool()
+        .args([
+            "replay",
+            path.to_str().unwrap(),
+            "--stream",
+            "1",
+            "--scheme",
+            "LRU",
+            "--measure",
+            "200000",
+        ])
+        .output()
+        .expect("run trace_tool");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"scheme\":\"S-NUCA (LRU)\""), "{json}");
+    // ...and differs from stream 0 (different app, different stats).
+    let out0 = trace_tool()
+        .args([
+            "replay",
+            path.to_str().unwrap(),
+            "--stream",
+            "0",
+            "--scheme",
+            "LRU",
+            "--measure",
+            "200000",
+        ])
+        .output()
+        .expect("run trace_tool");
+    assert_ne!(json, String::from_utf8(out0.stdout).expect("utf8"));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn out_of_range_stream_is_a_clean_error() {
+    let (path, _) = capture_mix("range");
+    let out = trace_tool()
+        .args(["replay", path.to_str().unwrap(), "--stream", "9"])
+        .output()
+        .expect("run trace_tool");
+    assert!(!out.status.success(), "stream 9 must fail");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("stream 9"), "unhelpful error: {err}");
+    // --mix and --stream are mutually exclusive.
+    let out = trace_tool()
+        .args(["replay", path.to_str().unwrap(), "--mix", "--stream", "1"])
+        .output()
+        .expect("run trace_tool");
+    assert!(!out.status.success());
+    std::fs::remove_file(&path).unwrap();
+}
