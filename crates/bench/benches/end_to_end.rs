@@ -2,23 +2,19 @@
 //! second of wall time for a Whirlpool-managed run of dt.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use whirlpool::WhirlpoolScheme;
-use whirlpool_repro::harness::four_core_config;
-use wp_noc::CoreId;
-use wp_sim::MultiCoreSim;
-use wp_workloads::{registry, AppModel};
+use whirlpool_repro::harness::{Classification, Experiment, SchemeKind};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     g.bench_function("whirlpool_dt_1M_instrs", |b| {
         b.iter(|| {
-            let sys = four_core_config();
-            let model = AppModel::new(registry::spec("delaunay"));
-            let pools = model.descriptors_manual();
-            let mut sim = MultiCoreSim::new(sys.clone(), WhirlpoolScheme::new(sys));
-            sim.attach(CoreId(0), model.bundle(pools));
-            sim.run(1_000_000)
+            Experiment::single(SchemeKind::Whirlpool, "delaunay")
+                .classification(Classification::Manual)
+                .warmup(0)
+                .measure(1_000_000)
+                .run()
+                .expect("bench run")
         })
     });
     g.finish();

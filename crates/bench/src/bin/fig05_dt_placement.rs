@@ -4,22 +4,20 @@
 
 use whirlpool_repro::harness::*;
 use wp_bench::{classification_for, measure_budget};
-use wp_noc::CoreId;
-use wp_sim::{LlcScheme, MultiCoreSim};
-use wp_workloads::{registry, AppModel};
+use wp_sim::LlcScheme;
 
 fn run_and_map(kind: SchemeKind) -> (f64, f64, Vec<(usize, String, f64)>) {
     let sys = four_core_config();
-    let model = AppModel::new(registry::spec("delaunay"));
-    let pools = descriptors_for(&model, "delaunay", classification_for(kind));
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-    sim.attach(CoreId(0), model.bundle(pools));
-    let (warm, _) = run_budget("delaunay");
-    let out = sim.run_with_warmup(warm, measure_budget("delaunay"));
+    let (run, scheme) = Experiment::single(kind, "delaunay")
+        .classification(classification_for(kind))
+        .measure(measure_budget("delaunay"))
+        .system(sys.clone())
+        .run_with_scheme(make_scheme(kind, &sys))
+        .unwrap_or_else(|e| panic!("dt under {} failed: {e}", kind.label()));
     (
-        exec_cycles(&out),
-        out.energy_per_ki(),
-        sim.scheme().bank_occupancy(),
+        exec_cycles(&run.summary),
+        run.summary.energy_per_ki(),
+        scheme.bank_occupancy(),
     )
 }
 

@@ -4,18 +4,16 @@
 use whirlpool::WhirlpoolScheme;
 use whirlpool_repro::harness::*;
 use wp_bench::measure_budget;
-use wp_noc::CoreId;
-use wp_sim::MultiCoreSim;
-use wp_workloads::{registry, AppModel};
 
 fn main() {
     let sys = four_core_config();
-    let model = AppModel::new(registry::spec("refine"));
-    let pools = model.descriptors_manual();
-    let mut sim = MultiCoreSim::new(sys.clone(), WhirlpoolScheme::new(sys.clone()));
-    sim.attach(CoreId(0), model.bundle(pools));
-    let (warm, _) = run_budget("refine");
-    let out = sim.run_with_warmup(warm, measure_budget("refine"));
+    let (run, scheme) = Experiment::single(SchemeKind::Whirlpool, "refine")
+        .classification(Classification::Manual)
+        .measure(measure_budget("refine"))
+        .system(sys.clone())
+        .run_with_scheme(WhirlpoolScheme::new(sys.clone()))
+        .unwrap_or_else(|e| panic!("refine under Whirlpool failed: {e}"));
+    let out = run.summary;
 
     println!("Fig 11a — Whirlpool's allocations over time on refine");
     println!("(granules of 64 KB per pool at each reconfiguration; B = bypassed).");
@@ -25,7 +23,7 @@ fn main() {
         "{:>9} {:>10} {:>10} {:>10} {:>8}",
         "cycle(M)", "vertices", "triangles", "misc", "thread"
     );
-    let hist = sim.scheme().runtime().reconfig_history();
+    let hist = scheme.runtime().reconfig_history();
     for (cyc, allocs) in hist {
         let find = |name: &str| {
             allocs

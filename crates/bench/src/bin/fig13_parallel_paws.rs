@@ -22,10 +22,13 @@ fn main() {
         let mut energy_rows = Vec::new();
         let mut home_fracs = Vec::new();
         for (label, kind, policy) in configs.iter() {
-            let run = run_parallel(*kind, spec.clone(), *policy);
+            let run = Experiment::parallel(*kind, spec.clone(), *policy)
+                .run_full()
+                .unwrap_or_else(|e| panic!("parallel {name} under {label} failed: {e}"));
+            let sched = run.schedule.expect("parallel runs carry a schedule");
             time_rows.push((label.to_string(), makespan_cycles(&run.summary)));
             energy_rows.push((label.to_string(), run.summary.energy_per_ki()));
-            home_fracs.push((label, run.schedule.home_fraction()));
+            home_fracs.push((label, sched.home_fraction()));
         }
         println!("==================== {name} ====================");
         print_normalized("Execution time", &time_rows);

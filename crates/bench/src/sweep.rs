@@ -17,9 +17,12 @@
 //!    bit-identical to a `WP_JOBS=1` run — parallelism is purely a
 //!    wall-clock lever.
 //!
-//! Multi-program mixes ([`CellWork::Mix`]) have no scheme-independent
-//! per-core stream length, so they run live — but still one mix per
-//! worker, which is where Fig. 22's wall-clock goes.
+//! Every cell runs through the shared [`Experiment`] builder: cached
+//! single-app replays attach a pre-built bundle (cache stream + registry
+//! pools), mixes use the mix placement. Multi-program mixes
+//! ([`CellWork::Mix`]) have no scheme-independent per-core stream length,
+//! so they run live — but still one mix per worker, which is where
+//! Fig. 22's wall-clock goes.
 //!
 //! ```no_run
 //! use wp_bench::sweep::{CellWork, SweepSpec};
@@ -39,12 +42,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use whirlpool_repro::harness::{
-    descriptors_for, four_core_config, make_scheme, run_budget, run_mix_captured,
-    sixteen_core_config, Classification, RunSpec, SchemeKind,
+    descriptors_for, run_budget, Classification, Experiment, HarnessError, SchemeKind,
 };
-use wp_noc::CoreId;
-use wp_sim::{MultiCoreSim, RunSummary, TraceWorkload, WorkloadBundle};
-use wp_trace::TraceError;
+use wp_sim::{RunSummary, TraceWorkload, WorkloadBundle};
 use wp_workloads::{registry, AppModel};
 
 use crate::measure_budget;
@@ -234,9 +234,21 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// Fails on capture I/O errors and on missing/malformed `trace:`
-    /// files; the first error wins.
-    pub fn run(self) -> Result<SweepResult, TraceError> {
+    /// Any [`HarnessError`] — unknown apps, capture I/O, or
+    /// missing/malformed `trace:` files; the first error wins.
+    pub fn run(self) -> Result<SweepResult, HarnessError> {
+        // Validate every app name up front: the budget planning below
+        // consults the registry, which panics on unknown names.
+        for cell in &self.cells {
+            match &cell.work {
+                CellWork::Single { app, .. } => whirlpool_repro::harness::resolve_app(app)?,
+                CellWork::Mix { apps, .. } => {
+                    for app in apps {
+                        whirlpool_repro::harness::resolve_app(app)?;
+                    }
+                }
+            }
+        }
         // Plan the captures: each registry app once per distinct budget.
         let mut captures: Vec<(String, u64, u64, PathBuf)> = Vec::new();
         for cell in &self.cells {
@@ -255,7 +267,7 @@ impl SweepSpec {
         let cache_hits = warm.len();
         let cache_misses = missing.len();
         if !missing.is_empty() {
-            std::fs::create_dir_all(&self.cache_dir)?;
+            std::fs::create_dir_all(&self.cache_dir).map_err(wp_trace::TraceError::from)?;
             eprintln!(
                 "[sweep] capturing {} app(s) into {} ({} warm)",
                 missing.len(),
@@ -298,53 +310,53 @@ impl SweepSpec {
         })
     }
 
-    fn run_cell(&self, cell: &SweepCell) -> Result<RunSummary, TraceError> {
+    fn run_cell(&self, cell: &SweepCell) -> Result<RunSummary, HarnessError> {
         match &cell.work {
             CellWork::Single {
                 app,
                 classification,
             } => {
-                let (bundle, warmup, measure) = if let Some(path) = registry::trace_path(app) {
+                if registry::trace_path(app).is_some() {
                     // A user-supplied recording: replay raw (its own
                     // warmup is baked in) unless budgets are overridden.
-                    let with_pools = !matches!(classification, Classification::None);
-                    (
-                        wp_sim::trace_bundle(path, 0, with_pools)?,
-                        self.warmup_override.unwrap_or(0),
-                        self.measure_override.unwrap_or(u64::MAX),
-                    )
-                } else {
-                    // A cached capture: the event stream comes from the
-                    // cache; the pools are rebuilt from the registry model
-                    // so per-cell classifications (Fig. 16's WhirlTool
-                    // 2/3/4-pool variants) replay against the same stream.
-                    let (w, m) = self.budgets_for(app);
-                    let model = AppModel::new(registry::spec(app));
-                    let pools = descriptors_for(&model, app, *classification);
-                    let bundle = WorkloadBundle {
-                        trace: Box::new(TraceWorkload::open(&self.cache_path(app, w, m))?),
-                        pools,
-                        name: app.clone(),
-                    };
-                    (bundle, w, m)
+                    let mut exp =
+                        Experiment::single(cell.scheme, app).classification(*classification);
+                    if let Some(w) = self.warmup_override {
+                        exp = exp.warmup(w);
+                    }
+                    if let Some(m) = self.measure_override {
+                        exp = exp.measure(m);
+                    }
+                    return exp.run();
+                }
+                // A cached capture: the event stream comes from the
+                // cache; the pools are rebuilt from the registry model
+                // so per-cell classifications (Fig. 16's WhirlTool
+                // 2/3/4-pool variants) replay against the same stream.
+                let (w, m) = self.budgets_for(app);
+                let model = AppModel::new(registry::spec(app));
+                let pools = descriptors_for(&model, app, *classification);
+                let bundle = WorkloadBundle {
+                    trace: Box::new(TraceWorkload::open(&self.cache_path(app, w, m))?),
+                    pools,
+                    name: app.clone(),
                 };
-                let sys = four_core_config();
-                let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(cell.scheme, &sys));
-                sim.attach(CoreId(0), bundle);
-                Ok(sim.run_with_warmup(warmup, measure))
+                Experiment::bundles(cell.scheme, vec![bundle])
+                    .warmup(w)
+                    .measure(m)
+                    .run()
             }
             CellWork::Mix {
                 apps,
                 instrs,
                 cores16,
             } => {
-                let sys = if *cores16 {
-                    sixteen_core_config()
-                } else {
-                    four_core_config()
-                };
                 let refs: Vec<&str> = apps.iter().map(String::as_str).collect();
-                run_mix_captured(cell.scheme, &refs, *instrs, sys, None)
+                let mut exp = Experiment::mix(cell.scheme, &refs).measure(*instrs);
+                if *cores16 {
+                    exp = exp.system(whirlpool_repro::harness::sixteen_core_config());
+                }
+                exp.run()
             }
         }
     }
@@ -356,7 +368,7 @@ impl SweepSpec {
 /// one capture serves every cell. The write goes through a temp file and
 /// an atomic rename so concurrent sweeps never replay a half-written
 /// capture.
-fn capture_app(app: &str, warmup: u64, measure: u64, path: &Path) -> Result<(), TraceError> {
+fn capture_app(app: &str, warmup: u64, measure: u64, path: &Path) -> Result<(), HarnessError> {
     // Unique per process *and* per capture: concurrent sweeps in one
     // process (tests sharing a cache dir) must never write the same
     // temp file.
@@ -366,32 +378,34 @@ fn capture_app(app: &str, warmup: u64, measure: u64, path: &Path) -> Result<(), 
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let result = RunSpec::new(SchemeKind::SNucaLru, app)
+    let result = Experiment::single(SchemeKind::SNucaLru, app)
         .classification(Classification::None)
         .warmup(warmup)
         .measure(measure)
         .capture_to(&tmp)
         .run()
-        .and_then(|_| Ok(std::fs::rename(&tmp, path)?));
+        .and_then(|_| {
+            std::fs::rename(&tmp, path).map_err(|e| wp_trace::TraceError::from(e).into())
+        });
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
-    result
+    result.map(|_| ())
 }
 
 /// Runs `f(0..n)` on a pool of `jobs` scoped worker threads, returning
 /// results in index order. The whole simulation stack is `Send`, so each
 /// worker owns its cells end to end; the first error wins.
-fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, TraceError>
+fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, HarnessError>
 where
     T: Send,
-    F: Fn(usize) -> Result<T, TraceError> + Sync,
+    F: Fn(usize) -> Result<T, HarnessError> + Sync,
 {
     let next = AtomicUsize::new(0);
     // Early abort: once any cell errors, workers stop claiming new cells
     // instead of simulating the rest of the grid before failing.
     let failed = std::sync::atomic::AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<T, TraceError>>>> =
+    let slots: Vec<Mutex<Option<Result<T, HarnessError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs.clamp(1, n.max(1)) {
@@ -411,7 +425,7 @@ where
             });
         }
     });
-    let mut collected: Vec<Option<Result<T, TraceError>>> = slots
+    let mut collected: Vec<Option<Result<T, HarnessError>>> = slots
         .into_iter()
         .map(|m| m.into_inner().expect("result slot"))
         .collect();
@@ -572,11 +586,30 @@ mod tests {
         assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
         let err = parallel_map(4, 8, |i| {
             if i == 3 {
-                Err(TraceError::Corrupt("boom".into()))
+                Err(wp_trace::TraceError::Corrupt("boom".into()).into())
             } else {
                 Ok(i)
             }
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_app_surfaces_before_any_capture() {
+        // A typo'd registry name: typed error with a suggestion, not the
+        // registry's panic (and no capture attempted).
+        let mut spec = SweepSpec::new().cache_dir(std::env::temp_dir().join("wp-sweep-unknown"));
+        spec.push(
+            SchemeKind::SNucaLru,
+            CellWork::single("delauny", Classification::None),
+        );
+        assert!(matches!(spec.run(), Err(HarnessError::UnknownApp { .. })));
+        // A dangling trace URI: the harness's trace error.
+        let mut spec = SweepSpec::new().cache_dir(std::env::temp_dir().join("wp-sweep-unknown"));
+        spec.push(
+            SchemeKind::SNucaLru,
+            CellWork::single("trace:/nonexistent/x.wpt", Classification::None),
+        );
+        assert!(matches!(spec.run(), Err(HarnessError::Trace(_))));
     }
 }

@@ -74,7 +74,7 @@ pub fn hull_to_points(hull: &[HullPoint], len: usize) -> Vec<f64> {
 /// Returns the convex minorant of a miss curve as a new curve.
 ///
 /// The result is pointwise ≤ the input and convex; partitioning algorithms
-/// in [`crate::partition`] operate on these.
+/// in the partitioning module (`partition.rs`) operate on these.
 pub fn convex_hull(curve: &MissCurve) -> MissCurve {
     let hull = convex_hull_points(curve.points());
     let pts = hull_to_points(&hull, curve.len());

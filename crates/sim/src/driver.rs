@@ -236,6 +236,14 @@ impl<S: LlcScheme> MultiCoreSim<S> {
         &mut self.scheme
     }
 
+    /// Consumes the simulator, returning the scheme with its end-of-run
+    /// state — occupancy maps, reconfiguration histories — for post-run
+    /// introspection. Call [`finish_capture`](Self::finish_capture)
+    /// first if a capture is active.
+    pub fn into_scheme(self) -> S {
+        self.scheme
+    }
+
     /// The uncore (energy, time).
     pub fn uncore(&self) -> &Uncore {
         &self.uncore

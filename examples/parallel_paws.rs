@@ -6,7 +6,7 @@
 //! cargo run --release --example parallel_paws
 //! ```
 
-use whirlpool_repro::harness::{makespan_cycles, run_parallel, speedup_pct, SchemeKind};
+use whirlpool_repro::harness::{makespan_cycles, speedup_pct, Experiment, SchemeKind};
 use wp_paws::SchedPolicy;
 use wp_workloads::parallel::parallel_apps;
 
@@ -36,7 +36,10 @@ fn main() {
     );
     let mut jigsaw_makespan = 0.0;
     for (label, kind, policy) in configs {
-        let run = run_parallel(kind, app.clone(), policy);
+        let run = Experiment::parallel(kind, app.clone(), policy)
+            .run_full()
+            .unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        let sched = run.schedule.expect("parallel runs carry a schedule");
         let mk = makespan_cycles(&run.summary);
         if label == "Jigsaw" {
             jigsaw_makespan = mk;
@@ -55,8 +58,8 @@ fn main() {
             mk,
             vs,
             run.summary.energy_per_ki(),
-            run.schedule.home_fraction(),
-            run.schedule.steals,
+            sched.home_fraction(),
+            sched.steals,
         );
     }
     println!("\n(paper: J+PaWS ~+19% on pagerank; W+PaWS adds pool placement on top)");

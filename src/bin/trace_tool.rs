@@ -3,6 +3,7 @@
 //! ```text
 //! trace_tool record <app>... --out <file> [--scheme S] [--classification C]
 //!                          [--warmup N] [--measure N] [--sixteen-core]
+//! trace_tool record --parallel <app> --out <file> [--scheme S] [--policy paws|stealing]
 //! trace_tool info   <file>
 //! trace_tool dump   <file> [--limit N] [--stream K]
 //! trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
@@ -10,24 +11,29 @@
 //! ```
 //!
 //! `record` runs one registry app — or, with several apps, a whole
-//! multi-program mix (one app per core, one stream per core) — under a
+//! multi-program mix (one app per core, one stream per core), or with
+//! `--parallel`, a task-parallel app on the 16-core chip — under a
 //! scheme and captures every pulled event; `replay` drives a recorded
 //! file through one scheme (or the full Fig. 10 set), printing one JSON
-//! [`RunSummary`] line per scheme. By default replay attaches stream 0;
+//! `RunSummary` line per scheme. By default replay attaches stream 0;
 //! `--stream K` picks another core's stream, and `--mix` re-attaches
 //! *every* stream of a multi-core capture to its own core. Replaying with
 //! the warmup/measure budgets of the recording reproduces its statistics
-//! bit for bit (mix captures: `--warmup 6000000`, the fixed mix warmup).
+//! bit for bit (mix captures: `--warmup 6000000`, the fixed mix warmup;
+//! parallel captures: no flags, they run to exhaustion).
+//!
+//! Everything goes through the [`Experiment`] builder, so bad inputs —
+//! unknown apps or schemes (with did-you-mean suggestions), too many
+//! streams for the chip, missing or corrupt traces — exit non-zero with
+//! a one-line message, never a backtrace.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use whirlpool_repro::harness::{
-    four_core_config, make_scheme, run_budget, run_mix_captured, sixteen_core_config,
-    Classification, RunSpec, SchemeKind, MIX_WARMUP_INSTRS,
+    sixteen_core_config, Classification, Experiment, SchemeKind, MIX_WARMUP_INSTRS,
 };
-use wp_noc::CoreId;
-use wp_sim::MultiCoreSim;
+use wp_paws::SchedPolicy;
 use wp_trace::{TraceInfo, TraceReader};
 
 fn main() -> ExitCode {
@@ -41,13 +47,16 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown subcommand '{other}'")),
+        Some(other) => {
+            eprintln!("trace_tool: unknown subcommand '{other}'");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("trace_tool: {msg}");
-            eprint!("{USAGE}");
             ExitCode::from(2)
         }
     }
@@ -58,6 +67,8 @@ usage:
   trace_tool record <app>... --out <file> [--scheme S] [--classification none|manual|auto]
                     [--warmup N] [--measure N] [--sixteen-core]
                     (several apps record a multi-program mix, one stream per core)
+  trace_tool record --parallel <app> --out <file> [--scheme S] [--policy paws|stealing]
+                    (task-parallel app on the 16-core chip, one stream per core)
   trace_tool info   <file>
   trace_tool dump   <file> [--limit N] [--stream K]
   trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
@@ -120,20 +131,21 @@ impl<'a> Args<'a> {
 }
 
 fn parse_scheme(s: &str) -> Result<SchemeKind, String> {
-    SchemeKind::parse(s).ok_or_else(|| format!("unknown scheme '{s}'"))
+    SchemeKind::resolve(s).map_err(|e| e.to_string())
 }
 
-fn apply_common(mut spec: RunSpec, args: &Args) -> Result<RunSpec, String> {
+/// Applies the shared `--warmup/--measure/--sixteen-core` overrides.
+fn apply_common(mut exp: Experiment, args: &Args) -> Result<Experiment, String> {
     if let Some(n) = args.number("--warmup")? {
-        spec = spec.warmup(n);
+        exp = exp.warmup(n);
     }
     if let Some(n) = args.number("--measure")? {
-        spec = spec.measure(n);
+        exp = exp.measure(n);
     }
     if args.flag("--sixteen-core") {
-        spec = spec.system(sixteen_core_config());
+        exp = exp.system(sixteen_core_config());
     }
-    Ok(spec)
+    Ok(exp)
 }
 
 fn cmd_record(rest: &[String]) -> Result<(), String> {
@@ -145,8 +157,9 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
             "--classification",
             "--warmup",
             "--measure",
+            "--policy",
         ],
-        &["--sixteen-core"],
+        &["--sixteen-core", "--parallel"],
     )?;
     if args.positional.is_empty() {
         return Err("record takes at least one app name".into());
@@ -155,19 +168,20 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
     let kind = args
         .value("--scheme")
         .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?;
+    if args.flag("--parallel") {
+        return record_parallel(&args, kind, &out);
+    }
+    if args.value("--policy").is_some() {
+        return Err("--policy applies to --parallel records only".into());
+    }
+    // Surface unknown names before the progress chatter starts.
     for app in &args.positional {
-        if wp_workloads::registry::trace_path(app).is_none()
-            && !wp_workloads::registry::all_apps().contains(app)
-        {
-            return Err(format!(
-                "unknown app '{app}' (expected a registry name or trace:<path>)"
-            ));
-        }
+        whirlpool_repro::harness::resolve_app(app).map_err(|e| e.to_string())?;
     }
     if let [_, _, ..] = args.positional[..] {
         // Several apps: record a whole multi-program mix, one stream per
-        // core. Mixes use the fixed shared warmup and run_mix's
-        // per-scheme classification, so the single-app-only flags error.
+        // core. Mixes use the fixed shared warmup and the per-scheme
+        // classification, so the single-app-only flags error.
         if args.value("--classification").is_some() {
             return Err("--classification applies to single-app records only".into());
         }
@@ -177,26 +191,19 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
                  --warmup applies to single-app records only"
             ));
         }
-        let sys = if args.flag("--sixteen-core") {
-            sixteen_core_config()
-        } else {
-            four_core_config()
-        };
-        if args.positional.len() > sys.floorplan.num_cores() {
-            return Err(format!(
-                "{} apps exceed the {}-core chip (try --sixteen-core)",
-                args.positional.len(),
-                sys.floorplan.num_cores()
-            ));
-        }
-        let measure = args.number("--measure")?.unwrap_or(8_000_000);
+        // --warmup was rejected above, so the shared overrides apply only
+        // --measure and --sixteen-core here.
+        let exp = apply_common(
+            Experiment::mix(kind, &args.positional).capture_to(&out),
+            &args,
+        )?;
+        let (warmup, measure) = exp.budgets();
         eprintln!(
-            "recording mix {:?} under {} (warmup {MIX_WARMUP_INSTRS}, measure {measure})...",
+            "recording mix {:?} under {} (warmup {warmup}, measure {measure})...",
             args.positional,
             kind.label(),
         );
-        let summary = run_mix_captured(kind, &args.positional, measure, sys, Some(out.clone()))
-            .map_err(|e| e.to_string())?;
+        let summary = exp.run().map_err(|e| e.to_string())?;
         println!("{}", summary.to_json());
         return validate_capture(&out);
     }
@@ -211,22 +218,68 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         },
         Some(other) => return Err(format!("unknown classification '{other}'")),
     };
-    let spec = apply_common(
-        RunSpec::new(kind, app)
+    let exp = apply_common(
+        Experiment::single(kind, app)
             .classification(classification)
             .capture_to(&out),
         &args,
     )?;
-    let (warmup, measure) = run_budget(app);
+    let (warmup, measure) = exp.budgets();
     eprintln!(
-        "recording {app} under {} (warmup {}, measure {})...",
+        "recording {app} under {} (warmup {warmup}, measure {measure})...",
         kind.label(),
-        args.number("--warmup")?.unwrap_or(warmup),
-        args.number("--measure")?.unwrap_or(measure),
     );
-    let summary = spec.run().map_err(|e| e.to_string())?;
+    let summary = exp.run().map_err(|e| e.to_string())?;
     println!("{}", summary.to_json());
     validate_capture(&out)
+}
+
+/// `record --parallel <app>`: capture a Fig.-13 task-parallel app (one
+/// stream per core of the 16-core chip).
+fn record_parallel(args: &Args, kind: SchemeKind, out: &Path) -> Result<(), String> {
+    let [app] = args.positional[..] else {
+        return Err("record --parallel takes exactly one parallel app name".into());
+    };
+    if args.value("--classification").is_some()
+        || args.number("--warmup")?.is_some()
+        || args.number("--measure")?.is_some()
+    {
+        return Err("--parallel records run their task traces to exhaustion; \
+             --classification/--warmup/--measure apply to single-app records only"
+            .into());
+    }
+    if args.flag("--sixteen-core") {
+        return Err(
+            "--parallel records always run on the 16-core chip; drop --sixteen-core".into(),
+        );
+    }
+    let policy = match args.value("--policy") {
+        None | Some("paws") => SchedPolicy::Paws,
+        Some("stealing" | "ws" | "work-stealing") => SchedPolicy::WorkStealing,
+        Some(other) => {
+            return Err(format!(
+                "unknown policy '{other}' (expected 'paws' or 'stealing')"
+            ))
+        }
+    };
+    let specs = wp_workloads::parallel::parallel_apps(16, 42);
+    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    let Some(spec) = specs.iter().find(|s| s.name == app).cloned() else {
+        return Err(format!(
+            "unknown parallel app '{app}' (expected one of: {})",
+            names.join(", ")
+        ));
+    };
+    eprintln!(
+        "recording parallel {app} under {} / {policy:?} (16 cores, to exhaustion)...",
+        kind.label(),
+    );
+    let run = Experiment::parallel(kind, spec, policy)
+        .capture_to(out)
+        .run_full()
+        .map_err(|e| e.to_string())?;
+    println!("{}", run.summary.to_json());
+    validate_capture(out)
 }
 
 /// Deliberate full re-read: validates every checksum of the file we just
@@ -355,42 +408,36 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
     if args.flag("--mix") && stream.is_some() {
         return Err("--mix re-attaches every stream; it conflicts with --stream".into());
     }
-    let with_pools = !args.flag("--no-pools");
-    let warmup = args.number("--warmup")?.unwrap_or(0);
-    let measure = args.number("--measure")?.unwrap_or(u64::MAX);
-    let sys = if args.flag("--sixteen-core") {
-        sixteen_core_config()
+    // The recorded pools are restored by default (pools-agnostic schemes
+    // ignore them); --no-pools strips them.
+    let classification = if args.flag("--no-pools") {
+        Classification::None
     } else {
-        four_core_config()
+        Classification::Manual
     };
-    // The streams to attach: every stream of the capture (--mix), one
-    // chosen stream (--stream K), or stream 0. Out-of-range indices fail
-    // below when the bundle lookup finds no such stream definition.
-    let streams: Vec<u16> = if args.flag("--mix") {
-        let info = TraceInfo::scan(path).map_err(|e| e.to_string())?;
+    // One validating scan up front — every block's checksum is checked
+    // here, so mid-replay corruption cannot panic out of the simulator —
+    // which also enumerates the streams once (not once per scheme).
+    let info = TraceInfo::scan(path).map_err(|e| e.to_string())?;
+    let mix_streams: Option<Vec<u16>> = if args.flag("--mix") {
         if info.streams.is_empty() {
             return Err(format!("{file} defines no streams"));
         }
-        info.streams.iter().map(|s| s.meta.id).collect()
+        Some(info.streams.iter().map(|s| s.meta.id).collect())
     } else {
-        let k = stream.unwrap_or(0);
-        vec![u16::try_from(k)
-            .map_err(|_| format!("stream index {k} is out of range (max 65535)"))?]
+        None
     };
-    if streams.len() > sys.floorplan.num_cores() {
-        return Err(format!(
-            "{file} has {} streams but the chip has only {} cores (try --sixteen-core)",
-            streams.len(),
-            sys.floorplan.num_cores(),
-        ));
-    }
     for kind in kinds {
-        let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-        for (core, &sid) in streams.iter().enumerate() {
-            let bundle = wp_sim::trace_bundle(path, sid, with_pools).map_err(|e| e.to_string())?;
-            sim.attach(CoreId(core as u16), bundle);
+        let mut exp = Experiment::replay(kind, path).classification(classification);
+        if let Some(ids) = &mix_streams {
+            exp = exp.streams(ids.clone());
+        } else if let Some(k) = stream {
+            let k = u16::try_from(k)
+                .map_err(|_| format!("stream index {k} is out of range (max 65535)"))?;
+            exp = exp.stream(k);
         }
-        let summary = sim.run_with_warmup(warmup, measure);
+        let exp = apply_common(exp, &args)?;
+        let summary = exp.run().map_err(|e| e.to_string())?;
         println!("{}", summary.to_json());
     }
     Ok(())

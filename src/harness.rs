@@ -1,11 +1,15 @@
-//! Experiment harness: scheme factories and runners shared by the
-//! per-figure benchmarks, the examples, the `trace_tool` CLI, and the
-//! integration tests.
+//! Experiment harness: scheme factories and the one experiment entry
+//! point shared by the per-figure benchmarks, the examples, the
+//! `trace_tool` CLI, and the integration tests.
 //!
-//! [`RunSpec`] is the shared entry point every consumer goes through: it
-//! resolves app names (registry models *and* `trace:<path>` recordings),
-//! instantiates the scheme, applies default budgets and classification,
-//! and optionally captures the run to a `.wpt` file.
+//! [`Experiment`] is the single builder every consumer goes through: a
+//! [`Placement`] (one app, a multi-program mix, a task-parallel app, a
+//! trace replay, or pre-built bundles) plus the knobs that used to be
+//! scattered across free functions — classification, warmup/measure
+//! budgets, system configuration, RNG seed, and capture. Misuse surfaces
+//! as a typed [`HarnessError`] (with did-you-mean suggestions for app and
+//! scheme names) instead of a panic or a misfiled
+//! [`wp_trace::TraceError`].
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -14,14 +18,177 @@ use std::sync::Arc;
 use whirlpool::WhirlpoolScheme;
 use wp_baselines::{AwasthiParams, AwasthiScheme, IdealSpdScheme, SNucaScheme, SnucaReplacement};
 use wp_jigsaw::JigsawScheme;
-use wp_mem::{CallpointId, PageId};
+use wp_mem::{CallpointId, PageId, LINES_PER_PAGE};
 use wp_noc::CoreId;
 use wp_paws::{core_workloads, schedule, ParallelClassification, SchedPolicy, Schedule};
-use wp_sim::{LlcScheme, MultiCoreSim, RunSummary, SystemConfig};
+use wp_sim::{LlcScheme, MultiCoreSim, RunSummary, SystemConfig, WorkloadBundle};
+use wp_trace::{TraceError, TraceInfo};
 use wp_whirltool::{cluster, profile, ProfilerConfig};
 use wp_workloads::parallel::{ParallelApp, ParallelSpec};
 use wp_workloads::registry;
 use wp_workloads::AppModel;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong building or running an [`Experiment`].
+///
+/// Each variant corresponds to one way a consumer used to panic (unknown
+/// registry names, over-subscribed floorplans) or to receive a misfiled
+/// [`TraceError`]. The [`Display`](std::fmt::Display) rendering is a
+/// single line suitable for CLI output, including a did-you-mean
+/// suggestion where one exists.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The app name is neither a registry benchmark nor a `trace:<path>`
+    /// URI.
+    UnknownApp {
+        /// The name that failed to resolve.
+        name: String,
+        /// Closest registry name, if one is plausibly intended.
+        suggestion: Option<String>,
+    },
+    /// The scheme name matches no [`SchemeKind`] label or alias.
+    UnknownScheme {
+        /// The name that failed to resolve.
+        name: String,
+        /// Closest scheme label, if one is plausibly intended.
+        suggestion: Option<String>,
+    },
+    /// More workloads (mix apps, replay streams, bundles) than the
+    /// floorplan has cores.
+    TooManyWorkloads {
+        /// Workloads requested.
+        workloads: usize,
+        /// Cores available on the configured chip.
+        cores: usize,
+    },
+    /// Two workloads of a mix occupy overlapping page ranges — typically
+    /// two `trace:` recordings replayed in the same recorded address
+    /// space, which would silently alias pages across cores.
+    AddressSpaceCollision {
+        /// First colliding core.
+        core_a: usize,
+        /// Its workload name.
+        app_a: String,
+        /// Second colliding core.
+        core_b: usize,
+        /// Its workload name.
+        app_b: String,
+    },
+    /// A trace file failed to open, read, or validate (missing,
+    /// truncated, corrupt, or capture I/O).
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::UnknownApp { name, suggestion } => {
+                write!(f, "unknown app '{name}'")?;
+                match suggestion {
+                    Some(s) => write!(f, " (did you mean '{s}'?)"),
+                    None => write!(f, " (expected a registry name or trace:<path>)"),
+                }
+            }
+            HarnessError::UnknownScheme { name, suggestion } => {
+                write!(f, "unknown scheme '{name}'")?;
+                match suggestion {
+                    Some(s) => write!(f, " (did you mean '{s}'?)"),
+                    None => write!(
+                        f,
+                        " (expected one of: {})",
+                        SchemeKind::ALL.map(SchemeKind::label).join(", ")
+                    ),
+                }
+            }
+            HarnessError::TooManyWorkloads { workloads, cores } => {
+                write!(f, "{workloads} workloads exceed the {cores}-core chip")?;
+                if *cores < 16 && *workloads <= 16 {
+                    write!(f, " (try the 16-core system, e.g. --sixteen-core)")?;
+                }
+                Ok(())
+            }
+            HarnessError::AddressSpaceCollision {
+                core_a,
+                app_a,
+                core_b,
+                app_b,
+            } => write!(
+                f,
+                "workloads on core {core_a} ('{app_a}') and core {core_b} ('{app_b}') \
+                 overlap in the page address space; traces replay in their recorded \
+                 address spaces, so re-record them at disjoint bases or replay them \
+                 in separate runs"
+            ),
+            HarnessError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for HarnessError {
+    fn from(e: TraceError) -> Self {
+        HarnessError::Trace(e)
+    }
+}
+
+/// Levenshtein edit distance, for did-you-mean suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit distance small enough to be a
+/// plausible typo (case-insensitive), or `None`.
+fn suggest<'a, I: IntoIterator<Item = &'a str>>(input: &str, candidates: I) -> Option<String> {
+    let needle = input.to_ascii_lowercase();
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(&needle, &c.to_ascii_lowercase()), c))
+        .filter(|(d, c)| *d <= 3 && *d * 2 < c.len().max(needle.len()))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c.to_string())
+}
+
+/// Validates that `app` is a registry benchmark or a `trace:<path>` URI.
+///
+/// # Errors
+///
+/// [`HarnessError::UnknownApp`], with a did-you-mean suggestion drawn
+/// from the registry names.
+pub fn resolve_app(app: &str) -> Result<(), HarnessError> {
+    if registry::trace_path(app).is_some() || registry::all_apps().contains(&app) {
+        return Ok(());
+    }
+    Err(HarnessError::UnknownApp {
+        name: app.to_string(),
+        suggestion: suggest(app, registry::all_apps()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Schemes
+// ---------------------------------------------------------------------------
 
 /// The evaluated LLC schemes (Fig. 10/21 set plus the bypass ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +247,26 @@ impl SchemeKind {
         SchemeKind::ALL
             .into_iter()
             .find(|k| k.label().to_ascii_lowercase() == norm)
+    }
+
+    /// [`parse`](Self::parse) with a typed error: unknown names come back
+    /// as [`HarnessError::UnknownScheme`] with a did-you-mean suggestion
+    /// drawn from the labels and aliases.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownScheme`] when the name matches nothing.
+    pub fn resolve(s: &str) -> Result<SchemeKind, HarnessError> {
+        SchemeKind::parse(s).ok_or_else(|| HarnessError::UnknownScheme {
+            name: s.to_string(),
+            suggestion: suggest(
+                s,
+                SchemeKind::ALL
+                    .iter()
+                    .map(|k| k.label())
+                    .chain(["snuca-lru", "snuca-drrip"]),
+            ),
+        })
     }
 
     /// Display name matching the paper's figure labels.
@@ -217,7 +404,7 @@ pub fn run_budget(app: &str) -> (u64, u64) {
     if registry::trace_path(app).is_some() {
         // Recorded traces replay raw by default: no warmup (the capture
         // already includes the original run's warmup events) and run to
-        // exhaustion. Override via `RunSpec::warmup` / `RunSpec::measure`.
+        // exhaustion. Override via `Experiment::warmup` / `measure`.
         return (0, u64::MAX);
     }
     let spec = registry::spec(app);
@@ -262,43 +449,6 @@ pub fn run_budget(app: &str) -> (u64, u64) {
     (warmup, measure)
 }
 
-/// Runs one app alone on core 0 of the 4-core chip for
-/// `instrs` measured instructions (after the app's warmup budget).
-pub fn run_single_app(
-    kind: SchemeKind,
-    app: &str,
-    classification: Classification,
-    instrs: u64,
-) -> RunSummary {
-    run_single_app_with(kind, app, classification, instrs, four_core_config())
-}
-
-/// Runs one app alone with its default budget (warmup + measurement).
-pub fn run_single_app_budgeted(
-    kind: SchemeKind,
-    app: &str,
-    classification: Classification,
-) -> RunSummary {
-    let (_, measure) = run_budget(app);
-    run_single_app_with(kind, app, classification, measure, four_core_config())
-}
-
-/// [`run_single_app`] with an explicit system configuration.
-pub fn run_single_app_with(
-    kind: SchemeKind,
-    app: &str,
-    classification: Classification,
-    instrs: u64,
-    sys: SystemConfig,
-) -> RunSummary {
-    RunSpec::new(kind, app)
-        .classification(classification)
-        .measure(instrs)
-        .system(sys)
-        .run()
-        .unwrap_or_else(|e| panic!("running '{app}' failed: {e}"))
-}
-
 /// Builds the workload bundle for `app` under a classification — the one
 /// shared app-lookup path. `app` is a registry name (`"delaunay"`) or a
 /// `trace:<path>` URI naming a recorded `.wpt` file.
@@ -310,72 +460,279 @@ pub fn run_single_app_with(
 ///
 /// # Errors
 ///
-/// Fails only for `trace:` apps whose file is missing or malformed.
+/// [`HarnessError::UnknownApp`] for unresolvable names (with a
+/// did-you-mean suggestion) and [`HarnessError::Trace`] for `trace:` apps
+/// whose file is missing or malformed.
 pub fn app_bundle(
     app: &str,
     classification: Classification,
-) -> Result<wp_sim::WorkloadBundle, wp_trace::TraceError> {
+) -> Result<WorkloadBundle, HarnessError> {
+    resolve_app(app)?;
     if let Some(path) = registry::trace_path(app) {
         let with_pools = !matches!(classification, Classification::None);
-        return wp_sim::trace_bundle(path, 0, with_pools);
+        return Ok(wp_sim::trace_bundle(path, 0, with_pools)?);
     }
     let model = AppModel::new(registry::spec(app));
     let pools = descriptors_for(&model, app, classification);
     Ok(model.bundle(pools))
 }
 
-/// A fully specified single-core run: the one entry point the figure
-/// binaries, examples, `trace_tool`, and tests all share.
+// ---------------------------------------------------------------------------
+// The Experiment builder
+// ---------------------------------------------------------------------------
+
+/// Shared warmup budget of multi-program mixes: enough for the mix's
+/// caches and monitors to settle. Replaying a mix capture with this
+/// warmup (and the recording's measurement budget) reproduces the
+/// original statistics bit for bit.
+pub const MIX_WARMUP_INSTRS: u64 = 6_000_000;
+
+/// Default measurement budget of multi-program mixes (per core,
+/// fixed-work), matching the Fig. 22 4-core configuration.
+pub const MIX_MEASURE_INSTRS: u64 = 8_000_000;
+
+/// Default RNG seed for the per-core trace streams of a mix.
+const MIX_SEED: u64 = 0xC0FE;
+
+/// Default RNG seed for parallel-app task schedules.
+const PARALLEL_SEED: u64 = 0xBEEF;
+
+/// Base *page* of core `core`'s address space in a multi-program mix:
+/// processes are spaced 1 TB apart (far beyond any model's footprint) so
+/// pages never collide across cores, as real virtual memory provides.
+pub fn mix_base_page(core: usize) -> u64 {
+    const TB: u64 = 1 << 40;
+    (core as u64 + 1) * (TB / wp_mem::PAGE_BYTES)
+}
+
+/// Which streams of a trace capture a [`Placement::Replay`] re-attaches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamSelect {
+    /// One stream, attached to core 0.
+    One(u16),
+    /// Every stream of the capture, each to its own core — the way to
+    /// replay a whole mix or parallel capture. Enumerating the streams
+    /// costs one full [`TraceInfo::scan`]; callers replaying the same
+    /// file repeatedly can scan once themselves and pass
+    /// [`StreamSelect::Set`].
+    All,
+    /// An explicit stream list, attached to cores 0..n in order.
+    Set(Vec<u16>),
+}
+
+/// What an [`Experiment`] runs and where.
 ///
-/// Defaults: the scheme's [default
-/// classification](SchemeKind::default_classification), the app's
-/// [`run_budget`], and the [`four_core_config`] system.
+/// The first three variants cover the paper's scenarios (single-app
+/// figures, multi-program mixes, task-parallel apps); `Replay` re-attaches
+/// recorded capture streams; `Bundles` accepts pre-built
+/// [`WorkloadBundle`]s for bespoke models (tests, sweep-cache replays).
+#[derive(Debug)]
+pub enum Placement {
+    /// One app (registry name or `trace:<path>`) alone on core 0.
+    Single(String),
+    /// A multi-program mix: one app per core, fixed-work (Appendix A).
+    Mix(Vec<String>),
+    /// A task-parallel app on every core under a scheduling policy
+    /// (Sec. 3.4, Fig. 13).
+    Parallel(ParallelSpec, SchedPolicy),
+    /// Streams of a recorded `.wpt` capture, re-attached to cores.
+    Replay {
+        /// The capture file.
+        trace: PathBuf,
+        /// Which streams to attach.
+        select: StreamSelect,
+    },
+    /// Pre-built workload bundles, one per core in order.
+    Bundles(Vec<WorkloadBundle>),
+}
+
+impl Placement {
+    /// Short display label ("delaunay", "mcf+lbm", "fft/paws", …).
+    pub fn label(&self) -> String {
+        match self {
+            Placement::Single(app) => app.clone(),
+            Placement::Mix(apps) => apps.join("+"),
+            Placement::Parallel(spec, policy) => format!("{}/{policy:?}", spec.name),
+            Placement::Replay { trace, .. } => format!("replay:{}", trace.display()),
+            Placement::Bundles(bundles) => bundles
+                .iter()
+                .map(|b| b.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+"),
+        }
+    }
+}
+
+/// Result of an [`Experiment`]: the run summary plus, for
+/// [`Placement::Parallel`], the task schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// The simulation summary.
+    pub summary: RunSummary,
+    /// The task schedule (parallel placements only).
+    pub schedule: Option<Schedule>,
+}
+
+/// A fully specified experiment: the one entry point the figure binaries,
+/// examples, sweep engine, `trace_tool`, and tests all share.
+///
+/// Defaults depend on the placement: single-app runs get the app's
+/// [`run_budget`] and the [`four_core_config`]; mixes get the shared
+/// [`MIX_WARMUP_INSTRS`]/[`MIX_MEASURE_INSTRS`] budgets; parallel apps get
+/// the [`sixteen_core_config`] and run their (finite) task traces to
+/// exhaustion; replays and bundles run raw to exhaustion. Every placement
+/// accepts [`capture_to`](Self::capture_to) — parallel runs record one
+/// stream per core exactly like mixes, and replay bit-identically.
 ///
 /// ```no_run
-/// use whirlpool_repro::harness::{RunSpec, SchemeKind};
+/// use whirlpool_repro::harness::{Experiment, SchemeKind};
 ///
 /// // Capture a run...
-/// let live = RunSpec::new(SchemeKind::Whirlpool, "delaunay")
+/// let live = Experiment::single(SchemeKind::Whirlpool, "delaunay")
 ///     .measure(1_000_000)
 ///     .capture_to("/tmp/dt.wpt")
 ///     .run()
 ///     .unwrap();
 /// // ...and replay it through another scheme.
-/// let replayed = RunSpec::new(SchemeKind::Jigsaw, "trace:/tmp/dt.wpt")
+/// let replayed = Experiment::single(SchemeKind::Jigsaw, "trace:/tmp/dt.wpt")
 ///     .run()
 ///     .unwrap();
 /// assert!(replayed.cores[0].instructions > 0 && live.cores[0].instructions > 0);
 /// ```
-#[derive(Debug, Clone)]
-pub struct RunSpec {
+///
+/// A multi-program mix, captured, on one line per concern:
+///
+/// ```no_run
+/// use whirlpool_repro::harness::{Experiment, SchemeKind};
+///
+/// let out = Experiment::mix(SchemeKind::Whirlpool, &["delaunay", "mcf"])
+///     .measure(2_000_000)
+///     .capture_to("/tmp/mix.wpt")
+///     .run()
+///     .unwrap();
+/// assert_eq!(out.cores.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
     kind: SchemeKind,
-    app: String,
-    classification: Classification,
+    placement: Placement,
+    classification: Option<Classification>,
     warmup: Option<u64>,
     measure: Option<u64>,
-    sys: SystemConfig,
+    sys: Option<SystemConfig>,
+    seed: Option<u64>,
     capture_to: Option<PathBuf>,
 }
 
-impl RunSpec {
-    /// A run of `app` (registry name or `trace:<path>`) under `kind`,
-    /// with all defaults.
-    pub fn new(kind: SchemeKind, app: &str) -> Self {
+impl Experiment {
+    fn with_placement(kind: SchemeKind, placement: Placement) -> Self {
         Self {
             kind,
-            app: app.to_string(),
-            classification: kind.default_classification(),
+            placement,
+            classification: None,
             warmup: None,
             measure: None,
-            sys: four_core_config(),
+            sys: None,
+            seed: None,
             capture_to: None,
         }
     }
 
-    /// Overrides the classification.
+    /// One app (registry name or `trace:<path>`) alone on core 0 of the
+    /// 4-core chip, with the app's [`run_budget`].
+    pub fn single(kind: SchemeKind, app: &str) -> Self {
+        Self::with_placement(kind, Placement::Single(app.to_string()))
+    }
+
+    /// A multi-program mix, one app per core (registry names or `trace:`
+    /// URIs), fixed-work, with the shared mix budgets.
+    pub fn mix(kind: SchemeKind, apps: &[&str]) -> Self {
+        Self::with_placement(
+            kind,
+            Placement::Mix(apps.iter().map(|a| a.to_string()).collect()),
+        )
+    }
+
+    /// A task-parallel app under a scheduling policy on the 16-core chip
+    /// — the four Fig. 13 configurations are `(SNucaLru, WorkStealing)`,
+    /// `(Jigsaw, WorkStealing)`, `(Jigsaw, Paws)`, `(Whirlpool, Paws)`.
+    /// Task traces are finite, so the run goes to exhaustion.
+    pub fn parallel(kind: SchemeKind, spec: ParallelSpec, policy: SchedPolicy) -> Self {
+        Self::with_placement(kind, Placement::Parallel(spec, policy))
+    }
+
+    /// Replays stream 0 of a recorded capture on core 0. Select another
+    /// stream with [`stream`](Self::stream) or re-attach every stream
+    /// (mix/parallel captures) with [`all_streams`](Self::all_streams).
+    pub fn replay(kind: SchemeKind, trace: impl Into<PathBuf>) -> Self {
+        Self::with_placement(
+            kind,
+            Placement::Replay {
+                trace: trace.into(),
+                select: StreamSelect::One(0),
+            },
+        )
+    }
+
+    /// Pre-built workload bundles, attached to cores 0..n in order. For
+    /// bespoke models (tests) and cache-backed replays (the sweep
+    /// engine); bundles carry their own pools, so
+    /// [`classification`](Self::classification) is ignored.
+    pub fn bundles(kind: SchemeKind, bundles: Vec<WorkloadBundle>) -> Self {
+        Self::with_placement(kind, Placement::Bundles(bundles))
+    }
+
+    /// Selects one stream of a replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not [`Placement::Replay`].
+    #[must_use]
+    pub fn stream(mut self, stream: u16) -> Self {
+        match &mut self.placement {
+            Placement::Replay { select, .. } => *select = StreamSelect::One(stream),
+            other => panic!("stream() applies to replay experiments, not {other:?}"),
+        }
+        self
+    }
+
+    /// Re-attaches every stream of a replay to its own core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not [`Placement::Replay`].
+    #[must_use]
+    pub fn all_streams(mut self) -> Self {
+        match &mut self.placement {
+            Placement::Replay { select, .. } => *select = StreamSelect::All,
+            other => panic!("all_streams() applies to replay experiments, not {other:?}"),
+        }
+        self
+    }
+
+    /// Attaches an explicit stream list of a replay to cores 0..n in
+    /// order — [`all_streams`](Self::all_streams) without its per-run
+    /// stream-enumeration scan, for callers that already know the ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not [`Placement::Replay`].
+    #[must_use]
+    pub fn streams(mut self, ids: Vec<u16>) -> Self {
+        match &mut self.placement {
+            Placement::Replay { select, .. } => *select = StreamSelect::Set(ids),
+            other => panic!("streams() applies to replay experiments, not {other:?}"),
+        }
+        self
+    }
+
+    /// Overrides the classification (default: the scheme's
+    /// [`SchemeKind::default_classification`]). For mixes it applies to
+    /// every registry app; for traces and replays, [`Classification::None`]
+    /// strips the recorded pools and anything else restores them.
     #[must_use]
     pub fn classification(mut self, c: Classification) -> Self {
-        self.classification = c;
+        self.classification = Some(c);
         self
     }
 
@@ -391,169 +748,442 @@ impl RunSpec {
         self
     }
 
-    /// Overrides the measurement budget (instructions).
+    /// Overrides the measurement budget (instructions, per core).
     #[must_use]
     pub fn measure(mut self, instrs: u64) -> Self {
         self.measure = Some(instrs);
         self
     }
 
-    /// Overrides the system configuration.
+    /// Overrides the system configuration (default: [`four_core_config`],
+    /// or [`sixteen_core_config`] for parallel placements).
     #[must_use]
     pub fn system(mut self, sys: SystemConfig) -> Self {
-        self.sys = sys;
+        self.sys = Some(sys);
         self
     }
 
-    /// Captures the run's full event stream (warmup included) to a
-    /// `.wpt` file.
+    /// Overrides the RNG seed: the per-core trace seeds of a mix
+    /// (`seed + core`) and the task-schedule seed of a parallel run.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Captures the run's full event stream (warmup included, one stream
+    /// per core) to a `.wpt` file — uniformly across placements,
+    /// including parallel runs.
     #[must_use]
     pub fn capture_to(mut self, path: impl Into<PathBuf>) -> Self {
         self.capture_to = Some(path.into());
         self
     }
 
-    /// Runs on core 0 and returns the summary.
+    /// The system this experiment will run on (the override or the
+    /// placement's default).
+    pub fn system_config(&self) -> SystemConfig {
+        match (&self.sys, &self.placement) {
+            (Some(sys), _) => sys.clone(),
+            (None, Placement::Parallel(..)) => sixteen_core_config(),
+            (None, _) => four_core_config(),
+        }
+    }
+
+    /// The `(warmup, measure)` budgets this experiment will use.
+    pub fn budgets(&self) -> (u64, u64) {
+        let (dw, dm) = match &self.placement {
+            // An unresolvable name gets placeholder budgets; the run
+            // itself reports the typed UnknownApp error.
+            Placement::Single(app) if resolve_app(app).is_err() => (0, u64::MAX),
+            Placement::Single(app) => run_budget(app),
+            Placement::Mix(_) => (MIX_WARMUP_INSTRS, MIX_MEASURE_INSTRS),
+            // Finite task/recorded/bespoke streams: run to exhaustion.
+            Placement::Parallel(..) | Placement::Replay { .. } | Placement::Bundles(_) => {
+                (0, u64::MAX)
+            }
+        };
+        (self.warmup.unwrap_or(dw), self.measure.unwrap_or(dm))
+    }
+
+    /// Runs the experiment and returns the summary.
     ///
     /// # Errors
     ///
-    /// Fails on capture I/O errors and on missing/malformed `trace:`
-    /// files; plain registry runs without capture cannot fail.
-    pub fn run(self) -> Result<RunSummary, wp_trace::TraceError> {
-        let (warmup_default, measure_default) = run_budget(&self.app);
-        let warmup = self.warmup.unwrap_or(warmup_default);
-        let measure = self.measure.unwrap_or(measure_default);
-        let bundle = app_bundle(&self.app, self.classification)?;
-        let mut cfg = wp_sim::SimConfig::new(self.sys.clone());
+    /// Any [`HarnessError`]: unknown app names, over-subscribed
+    /// floorplans, colliding trace address spaces, missing/corrupt trace
+    /// files, capture I/O. Trace files are validated as far as replay
+    /// opens them (header, stream definitions; mixes scan the whole
+    /// file); corruption deeper in the body surfaces when the replay
+    /// reaches it (see [`wp_sim::TraceWorkload`]) — pre-validate with
+    /// [`TraceInfo::scan`] where that matters, as `trace_tool` does.
+    pub fn run(self) -> Result<RunSummary, HarnessError> {
+        self.run_full().map(|r| r.summary)
+    }
+
+    /// [`run`](Self::run), also returning the task schedule of a parallel
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_full(self) -> Result<ExperimentRun, HarnessError> {
+        let sys = self.system_config();
+        let kind = self.kind;
+        self.run_with_scheme(make_scheme(kind, &sys))
+            .map(|(run, _)| run)
+    }
+
+    /// Runs with a caller-provided scheme instance and hands it back for
+    /// post-run introspection (occupancy maps, reconfiguration history).
+    /// Construct the scheme against [`system_config`](Self::system_config)
+    /// so the scheme and the simulated chip agree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with_scheme<S: LlcScheme>(
+        self,
+        scheme: S,
+    ) -> Result<(ExperimentRun, S), HarnessError> {
+        let sys = self.system_config();
+        let (warmup, measure) = self.budgets();
+        let classification = self
+            .classification
+            .unwrap_or_else(|| self.kind.default_classification());
+        let cores = sys.floorplan.num_cores();
+        let mut sched = None;
+
+        // Build the per-core attachments.
+        let attachments: Vec<(CoreId, WorkloadBundle)> = match self.placement {
+            Placement::Single(app) => {
+                vec![(CoreId(0), app_bundle(&app, classification)?)]
+            }
+            Placement::Mix(apps) => {
+                if apps.len() > cores {
+                    return Err(HarnessError::TooManyWorkloads {
+                        workloads: apps.len(),
+                        cores,
+                    });
+                }
+                let seed = self.seed.unwrap_or(MIX_SEED);
+                let mut out = Vec::with_capacity(apps.len());
+                for (i, app) in apps.iter().enumerate() {
+                    out.push((CoreId(i as u16), mix_bundle(app, i, classification, seed)?));
+                }
+                check_mix_address_spaces(&apps, &out)?;
+                out
+            }
+            Placement::Parallel(spec, policy) => {
+                let app = Arc::new(ParallelApp::new(spec));
+                let s = schedule(&app, cores, policy, self.seed.unwrap_or(PARALLEL_SEED));
+                let pc = match classification {
+                    Classification::None => ParallelClassification::None,
+                    _ => ParallelClassification::PerPartition,
+                };
+                let bundles = core_workloads(&app, &s, pc);
+                sched = Some(s);
+                bundles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(c, b)| (CoreId(c as u16), b))
+                    .collect()
+            }
+            Placement::Replay { trace, select } => {
+                let with_pools = !matches!(classification, Classification::None);
+                let streams: Vec<u16> = match select {
+                    StreamSelect::One(k) => vec![k],
+                    StreamSelect::Set(ids) => ids,
+                    StreamSelect::All => {
+                        let info = TraceInfo::scan(&trace)?;
+                        if info.streams.is_empty() {
+                            return Err(HarnessError::Trace(TraceError::Corrupt(format!(
+                                "{} defines no streams",
+                                trace.display()
+                            ))));
+                        }
+                        info.streams.iter().map(|s| s.meta.id).collect()
+                    }
+                };
+                if streams.len() > cores {
+                    return Err(HarnessError::TooManyWorkloads {
+                        workloads: streams.len(),
+                        cores,
+                    });
+                }
+                let mut out = Vec::with_capacity(streams.len());
+                for (c, sid) in streams.into_iter().enumerate() {
+                    out.push((
+                        CoreId(c as u16),
+                        wp_sim::trace_bundle(&trace, sid, with_pools)?,
+                    ));
+                }
+                out
+            }
+            Placement::Bundles(bundles) => {
+                if bundles.len() > cores {
+                    return Err(HarnessError::TooManyWorkloads {
+                        workloads: bundles.len(),
+                        cores,
+                    });
+                }
+                bundles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(c, b)| (CoreId(c as u16), b))
+                    .collect()
+            }
+        };
+
+        // One uniform launch path: capture, attach, run, finalize.
+        let mut cfg = wp_sim::SimConfig::new(sys);
         if let Some(path) = self.capture_to {
             cfg = cfg.capture_to(path);
         }
-        let mut sim = MultiCoreSim::with_config(cfg, make_scheme(self.kind, &self.sys))?;
-        sim.attach(CoreId(0), bundle);
-        let out = sim.run_with_warmup(warmup, measure);
+        let mut sim = MultiCoreSim::with_config(cfg, scheme)?;
+        for (core, bundle) in attachments {
+            sim.attach(core, bundle);
+        }
+        let summary = sim.run_with_warmup(warmup, measure);
         sim.finish_capture()?;
-        Ok(out)
+        Ok((
+            ExperimentRun {
+                summary,
+                schedule: sched,
+            },
+            sim.into_scheme(),
+        ))
     }
-}
-
-/// Shared warmup budget of multi-program mixes: enough for the mix's
-/// caches and monitors to settle. Replaying a mix capture with this
-/// warmup (and the recording's measurement budget) reproduces the
-/// original statistics bit for bit.
-pub const MIX_WARMUP_INSTRS: u64 = 6_000_000;
-
-/// Base *page* of core `core`'s address space in a multi-program mix:
-/// processes are spaced 1 TB apart (far beyond any model's footprint) so
-/// pages never collide across cores, as real virtual memory provides.
-pub fn mix_base_page(core: usize) -> u64 {
-    const TB: u64 = 1 << 40;
-    (core as u64 + 1) * (TB / wp_mem::PAGE_BYTES)
 }
 
 /// Builds core `core`'s workload bundle for a multi-program mix: a
 /// registry model instantiated in that core's [disjoint address
 /// space](mix_base_page), or a `trace:<path>` recording (which plays back
 /// in the address space it was recorded in).
-///
-/// # Errors
-///
-/// Fails only for `trace:` apps whose file is missing or malformed.
-pub fn mix_bundle(
-    kind: SchemeKind,
+fn mix_bundle(
     app: &str,
     core: usize,
-) -> Result<wp_sim::WorkloadBundle, wp_trace::TraceError> {
+    classification: Classification,
+    seed: u64,
+) -> Result<WorkloadBundle, HarnessError> {
+    resolve_app(app)?;
     if let Some(path) = registry::trace_path(app) {
-        let mut b = wp_sim::trace_bundle(path, 0, kind.uses_pools())?;
+        let with_pools = !matches!(classification, Classification::None);
+        let mut b = wp_sim::trace_bundle(path, 0, with_pools)?;
         b.name = format!("{}.core{core}", b.name);
         return Ok(b);
     }
     let model = AppModel::new_with_base(registry::spec(app), mix_base_page(core));
-    let pools = if kind.uses_pools() {
-        model.descriptors_manual()
-    } else {
-        Vec::new()
-    };
-    Ok(wp_sim::WorkloadBundle {
-        trace: Box::new(model.trace_seeded(0xC0FE + core as u64)),
+    let pools = descriptors_for(&model, app, classification);
+    Ok(WorkloadBundle {
+        trace: Box::new(model.trace_seeded(seed + core as u64)),
         pools,
         name: format!("{app}.core{core}"),
     })
 }
 
-/// Runs a multi-program mix (one app per core, fixed-work, Appendix A).
-/// Whirlpool cores get the manual classification; other schemes ignore
-/// it. Apps may be registry names or `trace:<path>` URIs (a trace plays
-/// back in the address space it was recorded in).
-pub fn run_mix(kind: SchemeKind, apps: &[&str], instrs: u64, sys: SystemConfig) -> RunSummary {
-    run_mix_captured(kind, apps, instrs, sys, None)
-        .unwrap_or_else(|e| panic!("running mix {apps:?} failed: {e}"))
-}
-
-/// [`run_mix`] with an optional capture: with `capture_to` set, every
-/// pulled event of every core is recorded to one `.wpt` file (one stream
-/// per core, pool tables in the stream headers), so the whole mix can be
-/// re-attached later via `trace_tool replay --mix`.
+/// The inclusive page span `(lo, hi)` a mix workload occupies, or `None`
+/// when it cannot be determined (an empty trace stream).
 ///
 /// # Errors
 ///
-/// Fails on capture I/O errors and on missing/malformed `trace:` apps.
-pub fn run_mix_captured(
+/// A trace file that fails its validating scan (truncation, bit flips)
+/// is reported here, at build time, rather than panicking mid-replay.
+fn mix_page_span(
+    app: &str,
+    core: usize,
+    bundle: &WorkloadBundle,
+) -> Result<Option<(u64, u64)>, HarnessError> {
+    let pool_span = |bundle: &WorkloadBundle| {
+        let pages = bundle
+            .pools
+            .iter()
+            .flat_map(|p| p.pages.iter().map(|p| p.0));
+        Some((pages.clone().min()?, pages.max()?))
+    };
+    if let Some(path) = registry::trace_path(app) {
+        // The stream's recorded line span is exact — it covers every
+        // access, including ones outside the recorded pool tables (the
+        // pools alone could under-cover and let aliasing traces through).
+        if let Some((lo, hi)) = TraceInfo::scan(path)?
+            .streams
+            .first()
+            .and_then(|s| s.line_span)
+        {
+            return Ok(Some((lo / LINES_PER_PAGE, hi / LINES_PER_PAGE)));
+        }
+        // An empty stream: fall back to the recorded pools, if any.
+        return Ok(pool_span(bundle));
+    }
+    if !bundle.pools.is_empty() {
+        return Ok(pool_span(bundle));
+    }
+    // A registry model without pools: its heap occupies its 1 TB slot
+    // starting at the core's base page. Bound the span by the footprint
+    // plus per-pool page-rounding slack.
+    let spec = registry::spec(app);
+    let base = mix_base_page(core);
+    let pages = spec.footprint() / wp_mem::PAGE_BYTES + spec.pools.len() as u64 + 1;
+    Ok(Some((base, base + pages)))
+}
+
+/// Rejects mixes whose workloads occupy overlapping page ranges. Registry
+/// models are spaced 1 TB apart by construction, but `trace:` recordings
+/// replay in their *recorded* address spaces — two traces recorded at the
+/// same base (or a trace recorded in a slot a registry app now occupies)
+/// would silently alias pages across cores.
+fn check_mix_address_spaces(
+    apps: &[String],
+    attachments: &[(CoreId, WorkloadBundle)],
+) -> Result<(), HarnessError> {
+    let spans: Vec<Option<(u64, u64)>> = attachments
+        .iter()
+        .enumerate()
+        .map(|(i, (_, b))| mix_page_span(&apps[i], i, b))
+        .collect::<Result<_, _>>()?;
+    for i in 0..spans.len() {
+        for j in i + 1..spans.len() {
+            // Only pairs involving a trace can collide; registry models
+            // are provably disjoint (and their spans are estimates).
+            if registry::trace_path(&apps[i]).is_none() && registry::trace_path(&apps[j]).is_none()
+            {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (spans[i], spans[j]) {
+                if a.0 <= b.1 && b.0 <= a.1 {
+                    return Err(HarnessError::AddressSpaceCollision {
+                        core_a: i,
+                        app_a: apps[i].clone(),
+                        core_b: j,
+                        app_b: apps[j].clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Thin compatibility shims
+// ---------------------------------------------------------------------------
+
+/// A single-core run specification — a thin shim over
+/// [`Experiment::single`] kept so existing call sites read unchanged.
+///
+/// ```no_run
+/// use whirlpool_repro::harness::{RunSpec, SchemeKind};
+///
+/// let out = RunSpec::new(SchemeKind::Whirlpool, "delaunay")
+///     .measure(1_000_000)
+///     .run()
+///     .unwrap();
+/// assert!(out.cores[0].instructions > 0);
+/// ```
+#[derive(Debug)]
+pub struct RunSpec(Experiment);
+
+impl RunSpec {
+    /// A run of `app` (registry name or `trace:<path>`) under `kind`,
+    /// with all defaults.
+    pub fn new(kind: SchemeKind, app: &str) -> Self {
+        Self(Experiment::single(kind, app))
+    }
+
+    /// Overrides the classification.
+    #[must_use]
+    pub fn classification(self, c: Classification) -> Self {
+        Self(self.0.classification(c))
+    }
+
+    /// Overrides the warmup budget (instructions).
+    #[must_use]
+    pub fn warmup(self, instrs: u64) -> Self {
+        Self(self.0.warmup(instrs))
+    }
+
+    /// Overrides the measurement budget (instructions).
+    #[must_use]
+    pub fn measure(self, instrs: u64) -> Self {
+        Self(self.0.measure(instrs))
+    }
+
+    /// Overrides the system configuration.
+    #[must_use]
+    pub fn system(self, sys: SystemConfig) -> Self {
+        Self(self.0.system(sys))
+    }
+
+    /// Captures the run's full event stream (warmup included) to a
+    /// `.wpt` file.
+    #[must_use]
+    pub fn capture_to(self, path: impl Into<PathBuf>) -> Self {
+        Self(self.0.capture_to(path))
+    }
+
+    /// Runs on core 0 and returns the summary.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Experiment::run`].
+    pub fn run(self) -> Result<RunSummary, HarnessError> {
+        self.0.run()
+    }
+}
+
+/// Runs one app alone on core 0 of the 4-core chip for
+/// `instrs` measured instructions (after the app's warmup budget).
+///
+/// # Panics
+///
+/// Panics on [`HarnessError`]s (unknown apps, missing traces); use
+/// [`Experiment`] directly for a fallible run.
+pub fn run_single_app(
     kind: SchemeKind,
-    apps: &[&str],
+    app: &str,
+    classification: Classification,
+    instrs: u64,
+) -> RunSummary {
+    run_single_app_with(kind, app, classification, instrs, four_core_config())
+}
+
+/// Runs one app alone with its default budget (warmup + measurement).
+///
+/// # Panics
+///
+/// As for [`run_single_app`].
+pub fn run_single_app_budgeted(
+    kind: SchemeKind,
+    app: &str,
+    classification: Classification,
+) -> RunSummary {
+    let (_, measure) = run_budget(app);
+    run_single_app_with(kind, app, classification, measure, four_core_config())
+}
+
+/// [`run_single_app`] with an explicit system configuration.
+///
+/// # Panics
+///
+/// As for [`run_single_app`].
+pub fn run_single_app_with(
+    kind: SchemeKind,
+    app: &str,
+    classification: Classification,
     instrs: u64,
     sys: SystemConfig,
-    capture_to: Option<PathBuf>,
-) -> Result<RunSummary, wp_trace::TraceError> {
-    assert!(apps.len() <= sys.floorplan.num_cores());
-    let mut cfg = wp_sim::SimConfig::new(sys.clone());
-    if let Some(path) = capture_to {
-        cfg = cfg.capture_to(path);
-    }
-    let mut sim = MultiCoreSim::with_config(cfg, make_scheme(kind, &sys))?;
-    for (i, app) in apps.iter().enumerate() {
-        sim.attach(CoreId(i as u16), mix_bundle(kind, app, i)?);
-    }
-    let out = sim.run_with_warmup(MIX_WARMUP_INSTRS, instrs);
-    sim.finish_capture()?;
-    Ok(out)
+) -> RunSummary {
+    Experiment::single(kind, app)
+        .classification(classification)
+        .measure(instrs)
+        .system(sys)
+        .run()
+        .unwrap_or_else(|e| panic!("running '{app}' failed: {e}"))
 }
 
-/// Result of a parallel-app run.
-#[derive(Debug, Clone)]
-pub struct ParallelRun {
-    /// The simulation summary.
-    pub summary: RunSummary,
-    /// The task schedule that produced it.
-    pub schedule: Schedule,
-}
-
-/// Runs a parallel app on the 16-core chip under a scheme and scheduling
-/// policy — the four Fig. 13 configurations are
-/// `(SNucaLru, WorkStealing)`, `(Jigsaw, WorkStealing)`,
-/// `(Jigsaw, Paws)`, and `(Whirlpool, Paws)`.
-pub fn run_parallel(kind: SchemeKind, spec: ParallelSpec, policy: SchedPolicy) -> ParallelRun {
-    let sys = sixteen_core_config();
-    let cores = sys.floorplan.num_cores();
-    let app = Arc::new(ParallelApp::new(spec));
-    let sched = schedule(&app, cores, policy, 0xBEEF);
-    let classification = if kind.uses_pools() {
-        ParallelClassification::PerPartition
-    } else {
-        ParallelClassification::None
-    };
-    let bundles = core_workloads(&app, &sched, classification);
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-    for (c, b) in bundles.into_iter().enumerate() {
-        sim.attach(CoreId(c as u16), b);
-    }
-    // Traces are finite; run to exhaustion.
-    let summary = sim.run(u64::MAX);
-    ParallelRun {
-        summary,
-        schedule: sched,
-    }
-}
+// ---------------------------------------------------------------------------
+// Reporting helpers
+// ---------------------------------------------------------------------------
 
 /// Execution-time proxy for a single-app run: core 0's cycles.
 pub fn exec_cycles(s: &RunSummary) -> f64 {
@@ -686,6 +1316,42 @@ mod tests {
     }
 
     #[test]
+    fn scheme_resolve_suggests_labels() {
+        assert_eq!(SchemeKind::resolve("Jigsaw").unwrap(), SchemeKind::Jigsaw);
+        match SchemeKind::resolve("whirlpol") {
+            Err(HarnessError::UnknownScheme { suggestion, .. }) => {
+                assert_eq!(suggestion.as_deref(), Some("Whirlpool"));
+            }
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
+        // Nothing close: no suggestion, but still the typed variant.
+        match SchemeKind::resolve("zcache") {
+            Err(HarnessError::UnknownScheme { suggestion, .. }) => assert!(suggestion.is_none()),
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn app_resolve_suggests_registry_names() {
+        assert!(resolve_app("delaunay").is_ok());
+        assert!(resolve_app("trace:/tmp/whatever.wpt").is_ok());
+        match resolve_app("delauny") {
+            Err(HarnessError::UnknownApp { suggestion, .. }) => {
+                assert_eq!(suggestion.as_deref(), Some("delaunay"));
+            }
+            other => panic!("expected UnknownApp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
     fn default_classification_matches_pool_use() {
         assert_eq!(
             SchemeKind::Whirlpool.default_classification(),
@@ -695,6 +1361,24 @@ mod tests {
             SchemeKind::Jigsaw.default_classification(),
             Classification::None
         );
+    }
+
+    #[test]
+    fn experiment_defaults_follow_placement() {
+        let single = Experiment::single(SchemeKind::SNucaLru, "delaunay");
+        assert_eq!(single.budgets(), run_budget("delaunay"));
+        assert_eq!(single.system_config().floorplan.num_cores(), 4);
+
+        let mix = Experiment::mix(SchemeKind::SNucaLru, &["delaunay", "mcf"]);
+        assert_eq!(mix.budgets(), (MIX_WARMUP_INSTRS, MIX_MEASURE_INSTRS));
+
+        let spec = wp_workloads::parallel::parallel_apps(16, 1)
+            .into_iter()
+            .next()
+            .unwrap();
+        let par = Experiment::parallel(SchemeKind::Whirlpool, spec, SchedPolicy::Paws);
+        assert_eq!(par.budgets(), (0, u64::MAX));
+        assert_eq!(par.system_config().floorplan.num_cores(), 16);
     }
 
     #[test]
@@ -714,13 +1398,64 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(live.to_json(), replayed.to_json());
+        // The Replay placement drives the same stream to the same result.
+        let via_replay = Experiment::replay(SchemeKind::SNucaLru, &path)
+            .warmup(100_000)
+            .measure(200_000)
+            .classification(Classification::None)
+            .run()
+            .unwrap();
+        assert_eq!(live.to_json(), via_replay.to_json());
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn missing_trace_file_is_an_error_not_a_panic() {
-        let out = RunSpec::new(SchemeKind::SNucaLru, "trace:/nonexistent/x.wpt").run();
-        assert!(out.is_err());
+        match RunSpec::new(SchemeKind::SNucaLru, "trace:/nonexistent/x.wpt").run() {
+            Err(HarnessError::Trace(_)) => {}
+            other => panic!("expected a Trace error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_a_typed_error_everywhere() {
+        assert!(matches!(
+            Experiment::single(SchemeKind::SNucaLru, "doom").run(),
+            Err(HarnessError::UnknownApp { .. })
+        ));
+        assert!(matches!(
+            Experiment::mix(SchemeKind::SNucaLru, &["delaunay", "doom"]).run(),
+            Err(HarnessError::UnknownApp { .. })
+        ));
+        assert!(matches!(
+            app_bundle("doom", Classification::None),
+            Err(HarnessError::UnknownApp { .. })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_mix_is_a_typed_error() {
+        let apps = ["delaunay"; 5];
+        match Experiment::mix(SchemeKind::SNucaLru, &apps).run() {
+            Err(HarnessError::TooManyWorkloads { workloads, cores }) => {
+                assert_eq!((workloads, cores), (5, 4));
+            }
+            other => panic!("expected TooManyWorkloads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_scheme_hands_the_scheme_back() {
+        let sys = four_core_config();
+        let (run, scheme) = Experiment::single(SchemeKind::Whirlpool, "delaunay")
+            .measure(300_000)
+            .system(sys.clone())
+            .run_with_scheme(make_scheme(SchemeKind::Whirlpool, &sys))
+            .unwrap();
+        assert!(run.summary.cores[0].instructions >= 300_000);
+        assert!(run.schedule.is_none());
+        // The returned scheme carries the run's end state.
+        assert!(!scheme.bank_occupancy().is_empty());
     }
 
     #[test]
@@ -741,7 +1476,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, app)| {
-                let b = mix_bundle(SchemeKind::Whirlpool, app, i).unwrap();
+                let b = mix_bundle(app, i, Classification::Manual, MIX_SEED).unwrap();
                 assert!(!b.pools.is_empty(), "{app} has pools");
                 let pages = b.pools.iter().flat_map(|p| p.pages.iter());
                 let lo = pages.clone().map(|p| p.0).min().unwrap();
@@ -757,6 +1492,60 @@ mod tests {
                     "core {i} pages {a:?} overlap core {j} pages {b:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn colliding_trace_mix_is_rejected_by_core() {
+        let path =
+            std::env::temp_dir().join(format!("wp-harness-collide-{}.wpt", std::process::id()));
+        RunSpec::new(SchemeKind::SNucaLru, "delaunay")
+            .warmup(50_000)
+            .measure(100_000)
+            .capture_to(&path)
+            .run()
+            .unwrap();
+        let uri = format!("trace:{}", path.display());
+        match Experiment::mix(SchemeKind::SNucaLru, &[&uri, &uri]).run() {
+            Err(HarnessError::AddressSpaceCollision { core_a, core_b, .. }) => {
+                assert_eq!((core_a, core_b), (0, 1));
+            }
+            other => panic!("expected AddressSpaceCollision, got {other:?}"),
+        }
+        // The same trace next to a registry app in a *different* slot is
+        // fine (the recording lives near page 16, far below 1 TB).
+        Experiment::mix(SchemeKind::SNucaLru, &[&uri, "mcf"])
+            .measure(100_000)
+            .run()
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn harness_errors_render_one_line() {
+        for e in [
+            HarnessError::UnknownApp {
+                name: "delauny".into(),
+                suggestion: Some("delaunay".into()),
+            },
+            HarnessError::UnknownScheme {
+                name: "x".into(),
+                suggestion: None,
+            },
+            HarnessError::TooManyWorkloads {
+                workloads: 5,
+                cores: 4,
+            },
+            HarnessError::AddressSpaceCollision {
+                core_a: 0,
+                app_a: "a".into(),
+                core_b: 1,
+                app_b: "b".into(),
+            },
+            HarnessError::Trace(TraceError::BadMagic),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
         }
     }
 }

@@ -1,21 +1,24 @@
 //! Top-level harness for the Whirlpool (ASPLOS'16) reproduction.
 //!
 //! This crate glues the workspace together for experiments: scheme
-//! factories, single-app / multi-program / parallel runners, and the
-//! WhirlTool end-to-end pipeline. The per-figure binaries in `wp-bench`,
-//! the runnable examples, and the integration tests are all thin wrappers
-//! over [`harness`].
+//! factories, the [`harness::Experiment`] builder covering single-app /
+//! multi-program / parallel / replay runs, and the WhirlTool end-to-end
+//! pipeline. The per-figure binaries in `wp-bench`, the runnable
+//! examples, and the integration tests are all thin wrappers over
+//! [`harness`].
 //!
 //! ```no_run
-//! use whirlpool_repro::harness::{run_single_app, Classification, SchemeKind};
+//! use whirlpool_repro::harness::{Classification, Experiment, SchemeKind};
 //!
-//! let jig = run_single_app(SchemeKind::Jigsaw, "delaunay", Classification::None, 4_000_000);
-//! let wp = run_single_app(
-//!     SchemeKind::Whirlpool,
-//!     "delaunay",
-//!     Classification::Manual,
-//!     4_000_000,
-//! );
+//! let jig = Experiment::single(SchemeKind::Jigsaw, "delaunay")
+//!     .measure(4_000_000)
+//!     .run()
+//!     .unwrap();
+//! let wp = Experiment::single(SchemeKind::Whirlpool, "delaunay")
+//!     .classification(Classification::Manual)
+//!     .measure(4_000_000)
+//!     .run()
+//!     .unwrap();
 //! println!("speedup: {:.1}%", (jig.cores[0].cycles / wp.cores[0].cycles - 1.0) * 100.0);
 //! ```
 #![forbid(unsafe_code)]

@@ -2,9 +2,9 @@
 //! simulator, on small budgets suitable for debug-mode CI.
 
 use whirlpool::{PoolAllocator, VcRegistry, WhirlpoolScheme};
-use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
+use whirlpool_repro::harness::{four_core_config, Experiment, SchemeKind};
 use wp_noc::CoreId;
-use wp_sim::{LlcScheme, MultiCoreSim, WorkloadBundle};
+use wp_sim::{LlcScheme, WorkloadBundle};
 use wp_workloads::{registry, AppModel, AppSpec, Pattern, PoolSpec};
 
 /// A small dt-like spec that converges quickly in debug builds.
@@ -43,9 +43,11 @@ fn every_scheme_runs_the_same_workload() {
         } else {
             Vec::new()
         };
-        let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-        sim.attach(CoreId(0), model.bundle(pools));
-        let out = sim.run(1_000_000);
+        let out = Experiment::bundles(kind, vec![model.bundle(pools)])
+            .system(sys)
+            .measure(1_000_000)
+            .run()
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert!(out.cores[0].instructions >= 1_000_000, "{kind:?}");
         assert!(out.cores[0].llc_apki() > 5.0, "{kind:?}");
         assert!(out.energy.total_nj() > 0.0, "{kind:?}");
@@ -87,17 +89,21 @@ fn syscall_layer_matches_allocator_pages() {
 fn multicore_mix_runs_and_reports_all_cores() {
     let mut sys = four_core_config();
     sys.reconfig_interval_cycles = 500_000;
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(SchemeKind::Jigsaw, &sys));
-    for c in 0..4u16 {
-        let model = AppModel::new(small_dt());
-        let bundle = WorkloadBundle {
-            trace: Box::new(model.trace_seeded(c as u64)),
-            pools: vec![],
-            name: format!("app{c}"),
-        };
-        sim.attach(CoreId(c), bundle);
-    }
-    let out = sim.run(500_000);
+    let bundles = (0..4u16)
+        .map(|c| {
+            let model = AppModel::new(small_dt());
+            WorkloadBundle {
+                trace: Box::new(model.trace_seeded(c as u64)),
+                pools: vec![],
+                name: format!("app{c}"),
+            }
+        })
+        .collect();
+    let out = Experiment::bundles(SchemeKind::Jigsaw, bundles)
+        .system(sys)
+        .measure(500_000)
+        .run()
+        .expect("bespoke 4-core mix");
     for c in 0..4 {
         assert!(out.cores[c].instructions >= 500_000);
         assert!(out.cores[c].ipc() > 0.0);

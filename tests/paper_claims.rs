@@ -4,13 +4,12 @@
 
 use std::collections::HashMap;
 
-use whirlpool_repro::harness::{four_core_config, make_scheme, SchemeKind};
+use whirlpool_repro::harness::{four_core_config, Classification, Experiment, SchemeKind};
 use wp_mem::{CallpointId, PageId};
-use wp_noc::CoreId;
-use wp_paws::{schedule, SchedPolicy};
-use wp_sim::{MultiCoreSim, RunSummary};
+use wp_paws::SchedPolicy;
+use wp_sim::RunSummary;
 use wp_whirltool::{cluster, profile, ProfilerConfig};
-use wp_workloads::parallel::{ParallelApp, ParallelSpec, RemoteKind};
+use wp_workloads::parallel::{ParallelSpec, RemoteKind};
 use wp_workloads::{AppModel, AppSpec, Pattern, PoolSpec};
 
 /// mis in miniature: cache-friendly vertices + streaming edges.
@@ -36,9 +35,12 @@ fn run(kind: SchemeKind, spec: AppSpec, manual: bool, instrs: u64) -> RunSummary
     } else {
         Vec::new()
     };
-    let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-    sim.attach(CoreId(0), model.bundle(pools));
-    sim.run_with_warmup(instrs / 2, instrs)
+    Experiment::bundles(kind, vec![model.bundle(pools)])
+        .system(sys)
+        .warmup(instrs / 2)
+        .measure(instrs)
+        .run()
+        .expect("bespoke-model run")
 }
 
 #[test]
@@ -141,7 +143,6 @@ fn paws_with_whirlpool_wins_on_parallel_apps() {
         duration_jitter: 0.4,
         seed: 5,
     };
-    let app = std::sync::Arc::new(ParallelApp::new(spec));
     let mut sys = whirlpool_repro::harness::sixteen_core_config();
     sys.reconfig_interval_cycles = 400_000;
 
@@ -150,18 +151,17 @@ fn paws_with_whirlpool_wins_on_parallel_apps() {
         (SchemeKind::Jigsaw, SchedPolicy::WorkStealing, false),
         (SchemeKind::Whirlpool, SchedPolicy::Paws, true),
     ] {
-        let sched = schedule(&app, 16, policy, 9);
         let classification = if classify {
-            wp_paws::ParallelClassification::PerPartition
+            Classification::Manual // → one pool per partition
         } else {
-            wp_paws::ParallelClassification::None
+            Classification::None
         };
-        let bundles = wp_paws::core_workloads(&app, &sched, classification);
-        let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-        for (c, b) in bundles.into_iter().enumerate() {
-            sim.attach(CoreId(c as u16), b);
-        }
-        let out = sim.run(u64::MAX);
+        let out = Experiment::parallel(kind, spec.clone(), policy)
+            .system(sys.clone())
+            .classification(classification)
+            .seed(9)
+            .run()
+            .expect("parallel run");
         makespans.push(out.cores.iter().map(|c| c.cycles).fold(0.0, f64::max));
     }
     assert!(
@@ -193,17 +193,24 @@ fn weighted_speedup_of_whirlpool_mixes_is_positive() {
         })
         .collect();
     let run_all = |kind: SchemeKind, manual: bool| -> Vec<f64> {
-        let mut sim = MultiCoreSim::new(sys.clone(), make_scheme(kind, &sys));
-        for (c, spec) in specs.iter().enumerate() {
-            let model = AppModel::new(spec.clone());
-            let pools = if manual {
-                model.descriptors_manual()
-            } else {
-                Vec::new()
-            };
-            sim.attach(CoreId(c as u16), model.bundle(pools));
-        }
-        let out = sim.run_with_warmup(5_000_000, 3_000_000);
+        let bundles = specs
+            .iter()
+            .map(|spec| {
+                let model = AppModel::new(spec.clone());
+                let pools = if manual {
+                    model.descriptors_manual()
+                } else {
+                    Vec::new()
+                };
+                model.bundle(pools)
+            })
+            .collect();
+        let out = Experiment::bundles(kind, bundles)
+            .system(sys.clone())
+            .warmup(5_000_000)
+            .measure(3_000_000)
+            .run()
+            .expect("mix of bespoke models");
         out.cores.iter().map(|c| c.ipc()).collect()
     };
     let jig = run_all(SchemeKind::Jigsaw, false);

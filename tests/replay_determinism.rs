@@ -102,7 +102,7 @@ fn replay_without_pools_strips_classification() {
 
 #[test]
 fn trace_uri_works_in_a_multiprogram_mix() {
-    use whirlpool_repro::harness::{four_core_config, run_mix};
+    use whirlpool_repro::harness::Experiment;
     let path = temp("mix");
     RunSpec::new(SchemeKind::SNucaLru, "delaunay")
         .warmup(100_000)
@@ -111,12 +111,10 @@ fn trace_uri_works_in_a_multiprogram_mix() {
         .run()
         .expect("capture");
     let uri = format!("trace:{}", path.display());
-    let out = run_mix(
-        SchemeKind::SNucaLru,
-        &[uri.as_str(), "mcf"],
-        100_000,
-        four_core_config(),
-    );
+    let out = Experiment::mix(SchemeKind::SNucaLru, &[uri.as_str(), "mcf"])
+        .measure(100_000)
+        .run()
+        .expect("mix with a trace core");
     assert!(out.cores[0].instructions >= 100_000, "trace core ran");
     assert!(out.cores[1].instructions >= 100_000, "model core ran");
     std::fs::remove_file(&path).unwrap();

@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-use whirlpool_repro::harness::{four_core_config, run_mix_captured, SchemeKind};
+use whirlpool_repro::harness::{Experiment, SchemeKind};
 
 const MEASURE: u64 = 300_000;
 
@@ -14,14 +14,11 @@ fn trace_tool() -> Command {
 
 fn capture_mix(tag: &str) -> (std::path::PathBuf, String) {
     let path = std::env::temp_dir().join(format!("wp-tt-mix-{}-{tag}.wpt", std::process::id()));
-    let live = run_mix_captured(
-        SchemeKind::Whirlpool,
-        &["delaunay", "mcf"],
-        MEASURE,
-        four_core_config(),
-        Some(path.clone()),
-    )
-    .expect("mix capture");
+    let live = Experiment::mix(SchemeKind::Whirlpool, &["delaunay", "mcf"])
+        .measure(MEASURE)
+        .capture_to(&path)
+        .run()
+        .expect("mix capture");
     (path, live.to_json())
 }
 

@@ -3,7 +3,7 @@
 use crate::test_runner::TestRng;
 use crate::Strategy;
 
-/// A length specification for [`vec`]: an exact `usize` or a half-open
+/// A length specification for [`vec()`]: an exact `usize` or a half-open
 /// `Range<usize>`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -34,7 +34,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
