@@ -14,6 +14,10 @@
 //!   available cores). Output is bit-identical at any job count.
 //! * `WP_TRACE_CACHE` — the sweep engine's `.wpt` cache directory
 //!   (default `target/wp-trace-cache`).
+//! * `WP_MRC_SAMPLE` — `R` or `R:SMAX` (e.g. `0.01` or `0.01:16384`):
+//!   WhirlTool classification cells profile with SHARDS-sampled MRC
+//!   stacks at rate `R` (optionally `s_max`-capped) instead of exact
+//!   Mattson — the Fig. 16/21 opt-in for long traces (default: exact).
 #![forbid(unsafe_code)]
 
 pub mod sweep;

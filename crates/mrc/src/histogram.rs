@@ -101,6 +101,96 @@ impl StackDistanceHistogram {
     pub fn misses_at(&self, capacity_lines: u64) -> u64 {
         self.total() - self.hits_at(capacity_lines)
     }
+
+    /// Fraction of accesses that would miss in a cache of
+    /// `capacity_lines` lines (0 for an empty histogram).
+    pub fn miss_ratio_at(&self, capacity_lines: u64) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.misses_at(capacity_lines) as f64 / self.total() as f64
+    }
+}
+
+/// Miss ratios of `h` at capacities `0, step, 2*step, …, hi`, computed
+/// in one cumulative walk over the histogram (per-capacity
+/// [`misses_at`](StackDistanceHistogram::misses_at) queries would make a
+/// whole-curve sweep quadratic in the histogram size).
+fn miss_ratio_sweep(h: &StackDistanceHistogram, step: u64, hi: u64) -> Vec<f64> {
+    let total = h.total().max(1) as f64;
+    let mut out = Vec::with_capacity((hi / step + 2) as usize);
+    let mut finite = h.iter_finite().peekable();
+    let mut hits = 0u64;
+    let mut cap = 0u64;
+    loop {
+        while let Some(&(d, c)) = finite.peek() {
+            if d > cap {
+                break;
+            }
+            hits += c;
+            finite.next();
+        }
+        out.push((h.total() - hits) as f64 / total);
+        if cap > hi {
+            return out;
+        }
+        cap += step;
+    }
+}
+
+/// The largest absolute miss-ratio difference between two histograms,
+/// swept over every capacity from 0 to past both histograms' maximum
+/// distance in steps of `step_lines` — the error metric sampled MRC
+/// profiling is judged by (sampled vs exact).
+///
+/// This pointwise metric is the right contract for smooth miss curves.
+/// A trace with a near-vertical cliff (a cyclic sweep's working set)
+/// defeats it: sampling reproduces the cliff's *height* exactly but can
+/// place it a percent or two off in capacity, and every point between
+/// the two cliff positions then reports the full cliff height. Judge
+/// such traces with [`max_miss_ratio_error_with_slack`] instead.
+pub fn max_miss_ratio_error(
+    a: &StackDistanceHistogram,
+    b: &StackDistanceHistogram,
+    step_lines: u64,
+) -> f64 {
+    max_miss_ratio_error_with_slack(a, b, step_lines, 0.0)
+}
+
+/// [`max_miss_ratio_error`] with a relative *capacity* tolerance: point
+/// `c` of one curve is compared against the closest value the other
+/// curve attains anywhere in `[c / (1 + slack), c * (1 + slack)]`, in
+/// both directions. `capacity_slack` of 0.05 means "within the miss
+/// ratio the other curve has at ±5% capacity" — the standard way to
+/// score MRCs whose knees sampling can displace slightly sideways
+/// without misjudging their height.
+pub fn max_miss_ratio_error_with_slack(
+    a: &StackDistanceHistogram,
+    b: &StackDistanceHistogram,
+    step_lines: u64,
+    capacity_slack: f64,
+) -> f64 {
+    let step = step_lines.max(1);
+    let hi = a.max_distance().max(b.max_distance()) + step;
+    let ra = miss_ratio_sweep(a, step, hi);
+    let rb = miss_ratio_sweep(b, step, hi);
+    let n = ra.len().min(rb.len());
+    let slack = capacity_slack.max(0.0);
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let lo = (i as f64 / (1.0 + slack)).floor() as usize;
+        let hi = (((i as f64) * (1.0 + slack)).ceil() as usize).min(n - 1);
+        // Miss ratios are monotone non-increasing in capacity, so over
+        // the window a curve spans exactly `[curve[hi], curve[lo]]`.
+        // Measure against that *range* (the completed graph of the step
+        // function): a cliff jumps past intermediate values without
+        // attaining them at any sampled capacity, and a point on the
+        // other curve's smeared cliff should match the jump, not the
+        // nearest attained value.
+        let against = |curve: &[f64], v: f64| (v - curve[lo]).max(curve[hi] - v).max(0.0);
+        worst = worst.max(against(&ra, rb[i]).max(against(&rb, ra[i])));
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -163,6 +253,43 @@ mod tests {
         h.record_weighted(4, 64);
         assert_eq!(h.total(), 64);
         assert_eq!(h.hits_at(4), 64);
+    }
+
+    #[test]
+    fn error_metric_matches_naive_sweep() {
+        let mut a = StackDistanceHistogram::new();
+        let mut b = StackDistanceHistogram::new();
+        for d in [1u64, 40, 40, 90, 300] {
+            a.record(d);
+        }
+        a.record_cold_weighted(2);
+        for d in [2u64, 35, 95, 95, 310] {
+            b.record(d);
+        }
+        b.record_cold_weighted(2);
+        let fast = max_miss_ratio_error(&a, &b, 8);
+        let mut naive = 0.0f64;
+        let mut cap = 0;
+        while cap <= a.max_distance().max(b.max_distance()) + 8 {
+            naive = naive.max((a.miss_ratio_at(cap) - b.miss_ratio_at(cap)).abs());
+            cap += 8;
+        }
+        assert!((fast - naive).abs() < 1e-12);
+        assert_eq!(max_miss_ratio_error(&a, &a, 8), 0.0);
+    }
+
+    #[test]
+    fn capacity_slack_forgives_a_shifted_cliff() {
+        // Two cliffs of the same height, 2% apart in capacity: pointwise
+        // error is the full cliff height, slack error is ~0.
+        let mut a = StackDistanceHistogram::new();
+        let mut b = StackDistanceHistogram::new();
+        a.record_weighted(1000, 100);
+        b.record_weighted(1020, 100);
+        let strict = max_miss_ratio_error(&a, &b, 4);
+        assert!(strict > 0.9, "between the cliffs everything differs");
+        let slack = max_miss_ratio_error_with_slack(&a, &b, 4, 0.05);
+        assert!(slack < 1e-9, "5% capacity slack absorbs a 2% shift");
     }
 
     #[test]

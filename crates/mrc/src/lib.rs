@@ -7,6 +7,11 @@
 //!   cache capacity, plus the algebra defined on such curves.
 //! * [`StackDistanceHistogram`] and [`MattsonStack`] — exact and sampled
 //!   LRU stack-distance profiling, from which miss curves are derived.
+//! * [`ShardsStack`] — SHARDS spatial-hash sampling over the Mattson
+//!   machinery: ~constant-memory miss curves over whole traces at a small,
+//!   bounded miss-ratio error, with fixed-rate and `s_max`-adaptive modes
+//!   (see [`ShardsConfig`]); [`profile_streams`] profiles any set of a
+//!   trace's streams, exact or sampled, in one file scan.
 //! * [`convex_hull`] — the lower convex hull of a miss or latency curve
 //!   (Jigsaw partitions on hulls; convex performance is realizable via
 //!   Talus-style partitioning within a VC, per Sec. 4.2 of the paper).
@@ -48,19 +53,26 @@ mod hull;
 mod latency;
 mod mattson;
 mod partition;
+mod shards;
 mod trace;
 
 pub use combine::{combine_many, combine_miss_curves};
 pub use curve::MissCurve;
 pub use fxmap::{FastMap, FastSet};
-pub use histogram::StackDistanceHistogram;
+pub use histogram::{
+    max_miss_ratio_error, max_miss_ratio_error_with_slack, StackDistanceHistogram,
+};
 pub use hull::{convex_hull, convex_hull_points, hull_to_points, HullPoint};
 pub use latency::{AccessLatencyModel, LatencyCurve, UniformLatency};
 pub use mattson::{MattsonStack, SampledStack};
 pub use partition::{
     partition_capacity, partition_capacity_hulled, partitioned_curve, PartitionOutcome,
 };
-pub use trace::{curve_from_trace, histogram_from_trace};
+pub use shards::{ShardsConfig, ShardsStack, SHARDS_MODULUS};
+pub use trace::{
+    curve_from_trace, curve_from_trace_sampled, histogram_from_trace, histogram_from_trace_sampled,
+    profile_streams, profile_streams_scanned, ProfileMode, StreamProfile,
+};
 
 /// A cache line is 64 bytes throughout the reproduction (Table 3).
 pub const LINE_BYTES: u64 = 64;

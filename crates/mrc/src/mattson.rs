@@ -23,22 +23,50 @@ impl Fenwick {
         }
     }
 
-    fn grow_to(&mut self, n: usize) {
+    /// Returns `true` when the tree had to reallocate (the caller counts
+    /// these; a properly pre-sized profiler never grows).
+    fn grow_to(&mut self, n: usize) -> bool {
         if n <= self.vals.len() {
-            return;
+            return false;
         }
         let new_len = (n + 1).next_power_of_two();
         self.vals.resize(new_len, 0);
         self.tree = vec![0; new_len + 1];
-        // O(n) Fenwick build: push each node's partial sum to its parent.
-        for i in 1..=new_len {
+        self.build_tree();
+        true
+    }
+
+    /// O(len) Fenwick build from `vals`: push each node's partial sum to
+    /// its parent. `tree` must already be zeroed.
+    fn build_tree(&mut self) {
+        let len = self.vals.len();
+        for i in 1..=len {
             self.tree[i] += self.vals[i - 1];
             let parent = i + (i & i.wrapping_neg());
-            if parent <= new_len {
+            if parent <= len {
                 let v = self.tree[i];
                 self.tree[parent] += v;
             }
         }
+    }
+
+    /// Resets the tree *in place* to `1` at ranks `0..n` and `0` above —
+    /// the shape timestamp compaction needs — growing only if `n` exceeds
+    /// the current capacity. Returns `true` on a reallocation.
+    fn rebuild_ones(&mut self, n: usize) -> bool {
+        let grew = if n > self.vals.len() {
+            let new_len = (n + 1).next_power_of_two();
+            self.vals.resize(new_len, 0);
+            self.tree.resize(new_len + 1, 0);
+            true
+        } else {
+            false
+        };
+        self.vals[..n].fill(1);
+        self.vals[n..].fill(0);
+        self.tree.fill(0);
+        self.build_tree();
+        grew
     }
 
     fn add(&mut self, i: usize, delta: i32) {
@@ -93,8 +121,12 @@ impl Fenwick {
 pub struct MattsonStack {
     last_time: FastMap<u64, usize>,
     present: Fenwick,
+    /// Reused compaction buffer of `(timestamp, line)` pairs, so
+    /// steady-state compaction allocates nothing.
+    scratch: Vec<(usize, u64)>,
     time: usize,
     live: usize,
+    reallocations: u64,
     hist: StackDistanceHistogram,
 }
 
@@ -105,13 +137,42 @@ impl Default for MattsonStack {
 }
 
 impl MattsonStack {
+    /// Compaction slack: timestamps are compacted once the time axis
+    /// exceeds this multiple of the live set.
+    const SLACK: usize = 4;
+
     /// Creates an empty profiler.
     pub fn new() -> Self {
         Self {
             last_time: FastMap::default(),
             present: Fenwick::with_capacity(1 << 12),
+            scratch: Vec::new(),
             time: 0,
             live: 0,
+            reallocations: 0,
+            hist: StackDistanceHistogram::new(),
+        }
+    }
+
+    /// Creates a profiler pre-sized for a stream expected to touch up to
+    /// `expected_lines` distinct lines — e.g. a recorded trace's
+    /// [`line_span`](wp_trace::StreamInfo::line_span). The Fenwick tree
+    /// is sized for the worst pre-compaction time axis and the reuse map
+    /// for the full line set, so steady-state profiling performs zero
+    /// reallocations ([`reallocations`](Self::reallocations) stays 0) as
+    /// long as the estimate holds.
+    pub fn with_line_capacity(expected_lines: usize) -> Self {
+        let lines = expected_lines.max(1);
+        // Timestamps compact once time >= max(2^16, SLACK * live), so the
+        // time axis never exceeds that bound while `live <= lines`.
+        let time_cap = (Self::SLACK * lines).max(1 << 16);
+        Self {
+            last_time: FastMap::with_capacity_and_hasher(lines, Default::default()),
+            present: Fenwick::with_capacity(time_cap),
+            scratch: Vec::with_capacity(lines),
+            time: 0,
+            live: 0,
+            reallocations: 0,
             hist: StackDistanceHistogram::new(),
         }
     }
@@ -123,7 +184,7 @@ impl MattsonStack {
     pub fn access(&mut self, line: u64) -> Option<u64> {
         self.maybe_compact();
         let t = self.time;
-        self.present.grow_to(t + 1);
+        self.reallocations += u64::from(self.present.grow_to(t + 1));
         let dist = match self.last_time.insert(line, t) {
             Some(t0) => {
                 // Distinct lines touched strictly after t0, plus this line.
@@ -150,6 +211,29 @@ impl MattsonStack {
         self.live
     }
 
+    /// Buffer reallocations performed so far (Fenwick growths). A stack
+    /// built with [`with_line_capacity`](Self::with_line_capacity) whose
+    /// estimate holds reports 0 after any number of accesses.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Forgets `line` entirely: its next access is a cold miss and it no
+    /// longer counts towards other lines' stack distances. Sampled
+    /// profilers use this to evict lines when their hash threshold drops
+    /// (SHARDS-style rate adaptation). Returns whether the line was
+    /// present.
+    pub fn remove(&mut self, line: u64) -> bool {
+        match self.last_time.remove(&line) {
+            Some(t0) => {
+                self.present.add(t0, -1);
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The accumulated histogram.
     pub fn histogram(&self) -> &StackDistanceHistogram {
         &self.hist
@@ -162,20 +246,22 @@ impl MattsonStack {
     }
 
     /// Compacts timestamps when the time axis is much larger than the live
-    /// set, keeping the Fenwick tree small on long runs.
+    /// set, keeping the Fenwick tree small on long runs. Compaction reuses
+    /// the existing buffers (the Fenwick capacity is the high-water mark),
+    /// so a pre-sized stack compacts without allocating.
     fn maybe_compact(&mut self) {
-        const SLACK: usize = 4;
-        if self.time < (1 << 16) || self.time < SLACK * self.live.max(1) {
+        if self.time < (1 << 16) || self.time < Self::SLACK * self.live.max(1) {
             return;
         }
-        let mut entries: Vec<(u64, usize)> = self.last_time.iter().map(|(&a, &t)| (a, t)).collect();
-        entries.sort_by_key(|&(_, t)| t);
-        let n = entries.len();
-        self.present = Fenwick::with_capacity((n + 1).max(1 << 12));
-        for (rank, (addr, _)) in entries.into_iter().enumerate() {
+        self.scratch.clear();
+        self.scratch
+            .extend(self.last_time.iter().map(|(&a, &t)| (t, a)));
+        self.scratch.sort_unstable();
+        let n = self.scratch.len();
+        for (rank, &(_, addr)) in self.scratch.iter().enumerate() {
             self.last_time.insert(addr, rank);
-            self.present.add(rank, 1);
         }
+        self.reallocations += u64::from(self.present.rebuild_ones(n));
         self.time = n;
     }
 }

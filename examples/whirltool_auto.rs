@@ -35,6 +35,7 @@ fn main() {
             total_instrs: 10_000_000,
             granule_lines: 1024,
             curve_points: 201,
+            sample: None,
         },
     );
     println!(

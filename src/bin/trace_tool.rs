@@ -8,6 +8,10 @@
 //! trace_tool dump   <file> [--limit N] [--stream K]
 //! trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
 //!                          [--warmup N] [--measure N] [--no-pools] [--sixteen-core]
+//! trace_tool profile <file> [--stream K | --all-streams]
+//!                           [--exact | --sample-rate R] [--s-max N]
+//!                           [--granule L] [--json]
+//!                           [--verify-exact] [--max-err E] [--capacity-slack S]
 //! ```
 //!
 //! `record` runs one registry app — or, with several apps, a whole
@@ -22,6 +26,13 @@
 //! bit for bit (mix captures: `--warmup 6000000`, the fixed mix warmup;
 //! parallel captures: no flags, they run to exhaustion).
 //!
+//! `profile` computes stream miss curves without any simulation: exact
+//! Mattson by default, or SHARDS-sampled (`--sample-rate`, optionally
+//! `--s-max` capped so memory stays constant) — any number of streams in
+//! one file scan. `--verify-exact` profiles both ways and exits non-zero
+//! if the sampled miss ratio strays more than `--max-err` (default 0.02)
+//! from exact at any capacity, which is the contract CI enforces.
+//!
 //! Everything goes through the [`Experiment`] builder, so bad inputs —
 //! unknown apps or schemes (with did-you-mean suggestions), too many
 //! streams for the chip, missing or corrupt traces — exit non-zero with
@@ -33,6 +44,10 @@ use std::process::ExitCode;
 use whirlpool_repro::harness::{
     sixteen_core_config, Classification, Experiment, SchemeKind, MIX_WARMUP_INSTRS,
 };
+use wp_mrc::{
+    max_miss_ratio_error_with_slack, profile_streams, profile_streams_scanned, ProfileMode,
+    ShardsConfig, StreamProfile,
+};
 use wp_paws::SchedPolicy;
 use wp_trace::{TraceInfo, TraceReader};
 
@@ -43,6 +58,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -73,6 +89,10 @@ usage:
   trace_tool dump   <file> [--limit N] [--stream K]
   trace_tool replay <file> [--scheme S | --all-schemes] [--stream K | --mix]
                     [--warmup N] [--measure N] [--no-pools] [--sixteen-core]
+  trace_tool profile <file> [--stream K | --all-streams] [--exact | --sample-rate R]
+                    [--s-max N] [--granule L] [--json] [--verify-exact] [--max-err E] [--capacity-slack S]
+                    (miss curves straight from the trace: exact Mattson or
+                     SHARDS-sampled, all requested streams in one scan)
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
          Whirlpool, Whirlpool-NoBypass
@@ -383,6 +403,238 @@ fn cmd_dump(rest: &[String]) -> Result<(), String> {
             }
             Ok(None) => return Ok(()),
             Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// `profile <file>`: miss curves straight from a recording — exact
+/// Mattson or SHARDS-sampled — with an optional exact-vs-sampled error
+/// check that gates CI.
+fn cmd_profile(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        rest,
+        &[
+            "--stream",
+            "--sample-rate",
+            "--s-max",
+            "--granule",
+            "--max-err",
+            "--capacity-slack",
+        ],
+        &["--all-streams", "--exact", "--json", "--verify-exact"],
+    )?;
+    let [file] = args.positional[..] else {
+        return Err("profile takes exactly one trace file".into());
+    };
+    let path = Path::new(file);
+    let parse_f64 = |flag: &str| -> Result<Option<f64>, String> {
+        args.value(flag)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("{flag} expects a number, got '{v}'"))
+            })
+            .transpose()
+    };
+    if args.flag("--exact")
+        && (args.value("--sample-rate").is_some() || args.value("--s-max").is_some())
+    {
+        return Err("--exact conflicts with --sample-rate/--s-max".into());
+    }
+    let rate = parse_f64("--sample-rate")?;
+    if let Some(r) = rate {
+        if !(r > 0.0 && r <= 1.0) {
+            return Err(format!("--sample-rate must be in (0, 1], got {r}"));
+        }
+    }
+    let s_max = match args.number("--s-max")? {
+        Some(0) => return Err("--s-max must be positive".into()),
+        other => other.map(|n| n as usize),
+    };
+    // `--s-max N` alone means "adaptive from rate 1": sample everything
+    // until the cap forces the rate down.
+    let sample = match (rate, s_max) {
+        (None, None) => None,
+        (r, m) => Some(ShardsConfig {
+            rate: r.unwrap_or(1.0),
+            s_max: m,
+        }),
+    };
+    let granule = args.number("--granule")?.unwrap_or(64).max(1);
+    let max_err = parse_f64("--max-err")?.unwrap_or(0.02);
+    // Traces with near-vertical working-set cliffs need a little
+    // horizontal tolerance: sampling reproduces a cliff's height but can
+    // place it a percent or two off in capacity.
+    let slack = parse_f64("--capacity-slack")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&slack) {
+        return Err(format!("--capacity-slack must be in [0, 1], got {slack}"));
+    }
+    if (args.value("--max-err").is_some() || args.value("--capacity-slack").is_some())
+        && !args.flag("--verify-exact")
+    {
+        return Err("--max-err/--capacity-slack only apply with --verify-exact".into());
+    }
+    if args.flag("--verify-exact") && sample.is_none() {
+        return Err("--verify-exact needs a sampled profile (--sample-rate/--s-max)".into());
+    }
+    if args.flag("--all-streams") && args.value("--stream").is_some() {
+        return Err("--all-streams profiles every stream; it conflicts with --stream".into());
+    }
+    // `--all-streams` needs a full scan to enumerate the streams; hold
+    // the summary so the exact profiles below reuse it for pre-sizing
+    // instead of scanning the file again.
+    let mut info: Option<TraceInfo> = None;
+    let streams: Vec<u16> = if args.flag("--all-streams") {
+        let i = TraceInfo::scan(path).map_err(|e| e.to_string())?;
+        if i.streams.is_empty() {
+            return Err(format!("{file} defines no streams"));
+        }
+        let ids = i.streams.iter().map(|s| s.meta.id).collect();
+        info = Some(i);
+        ids
+    } else {
+        let k = args.number("--stream")?.unwrap_or(0);
+        vec![u16::try_from(k).map_err(|_| format!("stream index {k} is out of range"))?]
+    };
+    let mode = match sample {
+        Some(cfg) => ProfileMode::Sampled(cfg),
+        None => ProfileMode::Exact,
+    };
+    let profile = |mode: ProfileMode| match &info {
+        Some(i) => profile_streams_scanned(path, i, &streams, mode),
+        None => profile_streams(path, &streams, mode),
+    };
+    let profiles = profile(mode).map_err(|e| e.to_string())?;
+    // The verification pass re-profiles exactly; each stream's error is
+    // the max absolute miss-ratio gap over the capacity sweep.
+    let errors: Option<Vec<f64>> = if args.flag("--verify-exact") {
+        let exact = profile(ProfileMode::Exact).map_err(|e| e.to_string())?;
+        Some(
+            exact
+                .iter()
+                .zip(&profiles)
+                .map(|(e, s)| {
+                    max_miss_ratio_error_with_slack(&e.histogram, &s.histogram, granule, slack)
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    if args.flag("--json") {
+        println!(
+            "{}",
+            profile_json(file, sample, granule, &profiles, errors.as_deref())
+        );
+    } else {
+        print_profiles(file, sample, granule, &profiles, errors.as_deref());
+    }
+    if let Some(errs) = &errors {
+        let worst = errs.iter().cloned().fold(0.0f64, f64::max);
+        if worst > max_err {
+            return Err(format!(
+                "sampled miss ratio is off by {worst:.4} (> --max-err {max_err}) vs exact"
+            ));
+        }
+        eprintln!("verified: max |miss-ratio error| {worst:.4} <= {max_err}");
+    }
+    Ok(())
+}
+
+fn profile_json(
+    file: &str,
+    sample: Option<ShardsConfig>,
+    granule: u64,
+    profiles: &[StreamProfile],
+    errors: Option<&[f64]>,
+) -> String {
+    let mode = match sample {
+        Some(cfg) => format!(
+            "{{\"rate\":{},\"s_max\":{}}}",
+            cfg.rate,
+            cfg.s_max.map_or("null".into(), |n| n.to_string())
+        ),
+        None => "\"exact\"".to_string(),
+    };
+    let rows: Vec<String> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let curve = p.curve(granule);
+            let mpki: Vec<String> = curve.points().iter().map(f64::to_string).collect();
+            let mut row = format!(
+                "{{\"stream\":{},\"events\":{},\"instructions\":{},\"cold_misses\":{},\
+                 \"max_distance\":{},\"final_rate\":{},\"peak_tracked\":{},\"mpki\":[{}]",
+                p.stream,
+                p.events,
+                p.instructions,
+                p.histogram.cold_misses(),
+                p.histogram.max_distance(),
+                p.sampled_rate.map_or("null".into(), |r| r.to_string()),
+                p.peak_tracked.map_or("null".into(), |n| n.to_string()),
+                mpki.join(","),
+            );
+            if let Some(errs) = errors {
+                row.push_str(&format!(",\"max_miss_ratio_error\":{}", errs[i]));
+            }
+            row.push('}');
+            row
+        })
+        .collect();
+    format!(
+        "{{\"file\":{},\"mode\":{mode},\"granule_lines\":{granule},\"streams\":[{}]}}",
+        wp_sim::json_string(file),
+        rows.join(","),
+    )
+}
+
+fn print_profiles(
+    file: &str,
+    sample: Option<ShardsConfig>,
+    granule: u64,
+    profiles: &[StreamProfile],
+    errors: Option<&[f64]>,
+) {
+    match sample {
+        Some(cfg) => println!(
+            "{file} (sampled, rate {}{})",
+            cfg.rate,
+            cfg.s_max
+                .map(|n| format!(", s_max {n}"))
+                .unwrap_or_default(),
+        ),
+        None => println!("{file} (exact)"),
+    }
+    for (i, p) in profiles.iter().enumerate() {
+        println!(
+            "  stream {}: {} events, {} instructions, {} cold, max distance {}",
+            p.stream,
+            p.events,
+            p.instructions,
+            p.histogram.cold_misses(),
+            p.histogram.max_distance(),
+        );
+        if let (Some(rate), Some(peak)) = (p.sampled_rate, p.peak_tracked) {
+            println!("    final rate {rate:.6}, peak tracked lines {peak}");
+        }
+        let total = p.histogram.total().max(1);
+        let mut caps = vec![0u64];
+        let mut c = granule;
+        while c < p.histogram.max_distance() + granule {
+            caps.push(c);
+            c = c.saturating_mul(4);
+        }
+        let ratios: Vec<String> = caps
+            .iter()
+            .map(|&cap| {
+                format!(
+                    "{cap}:{:.3}",
+                    p.histogram.misses_at(cap) as f64 / total as f64
+                )
+            })
+            .collect();
+        println!("    miss ratio by capacity (lines): {}", ratios.join(" "));
+        if let Some(errs) = errors {
+            println!("    max |miss-ratio error| vs exact: {:.4}", errs[i]);
         }
     }
 }

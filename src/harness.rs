@@ -346,8 +346,22 @@ pub fn sixteen_core_config() -> SystemConfig {
     sys
 }
 
+/// The SHARDS sampling configuration the `WP_MRC_SAMPLE` environment
+/// knob selects (`"R"` or `"R:SMAX"`, e.g. `0.01` or `0.01:16384`), or
+/// `None` when unset/unparsable — the same forgiving convention as
+/// `RUN_SCALE`. WhirlTool profiling (and therefore the Fig. 16/21 sweep
+/// cells that classify with it) opts into sampled MRC profiling through
+/// this.
+pub fn mrc_sample_from_env() -> Option<wp_mrc::ShardsConfig> {
+    std::env::var("WP_MRC_SAMPLE")
+        .ok()
+        .and_then(|s| wp_mrc::ShardsConfig::parse(&s))
+}
+
 /// Runs WhirlTool end to end for `app`: profile (train or ref input),
-/// cluster, return the callpoint→pool assignment.
+/// cluster, return the callpoint→pool assignment. Set `WP_MRC_SAMPLE`
+/// (see [`mrc_sample_from_env`]) to profile with SHARDS sampling instead
+/// of exact Mattson stacks.
 pub fn classify_with_whirltool(
     app: &str,
     pools: usize,
@@ -373,6 +387,7 @@ pub fn classify_with_whirltool(
             total_instrs: 10_000_000,
             granule_lines: 1024,
             curve_points: 201,
+            sample: mrc_sample_from_env(),
         },
     );
     let tree = cluster(&data, 200);
