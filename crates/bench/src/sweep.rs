@@ -44,7 +44,7 @@ use std::sync::Mutex;
 use whirlpool_repro::harness::{
     descriptors_for, run_budget, Classification, Experiment, HarnessError, SchemeKind,
 };
-use wp_sim::{RunSummary, TraceWorkload, WorkloadBundle};
+use wp_sim::{ExecMode, RunSummary, TraceWorkload, WorkloadBundle};
 use wp_workloads::{registry, AppModel};
 
 use crate::measure_budget;
@@ -135,6 +135,7 @@ pub struct SweepSpec {
     cache_dir: PathBuf,
     warmup_override: Option<u64>,
     measure_override: Option<u64>,
+    exec: Option<ExecMode>,
 }
 
 impl Default for SweepSpec {
@@ -152,6 +153,7 @@ impl SweepSpec {
             cache_dir: default_cache_dir(),
             warmup_override: None,
             measure_override: None,
+            exec: None,
         }
     }
 
@@ -188,6 +190,16 @@ impl SweepSpec {
     #[must_use]
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = dir.into();
+        self
+    }
+
+    /// Overrides every cell's event delivery path (the `WP_EXEC` /
+    /// [`ExecMode::default`] resolution otherwise). Both modes produce
+    /// bit-identical summaries; the knob exists for the throughput
+    /// benchmarks and the determinism tests that prove that.
+    #[must_use]
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = Some(exec);
         self
     }
 
@@ -310,6 +322,14 @@ impl SweepSpec {
         })
     }
 
+    /// Applies the sweep-wide exec-mode override, if any.
+    fn apply_exec(&self, exp: Experiment) -> Experiment {
+        match self.exec {
+            Some(mode) => exp.exec_mode(mode),
+            None => exp,
+        }
+    }
+
     fn run_cell(&self, cell: &SweepCell) -> Result<RunSummary, HarnessError> {
         match &cell.work {
             CellWork::Single {
@@ -327,7 +347,7 @@ impl SweepSpec {
                     if let Some(m) = self.measure_override {
                         exp = exp.measure(m);
                     }
-                    return exp.run();
+                    return self.apply_exec(exp).run();
                 }
                 // A cached capture: the event stream comes from the
                 // cache; the pools are rebuilt from the registry model
@@ -341,10 +361,12 @@ impl SweepSpec {
                     pools,
                     name: app.clone(),
                 };
-                Experiment::bundles(cell.scheme, vec![bundle])
-                    .warmup(w)
-                    .measure(m)
-                    .run()
+                self.apply_exec(
+                    Experiment::bundles(cell.scheme, vec![bundle])
+                        .warmup(w)
+                        .measure(m),
+                )
+                .run()
             }
             CellWork::Mix {
                 apps,
@@ -356,7 +378,7 @@ impl SweepSpec {
                 if *cores16 {
                     exp = exp.system(whirlpool_repro::harness::sixteen_core_config());
                 }
-                exp.run()
+                self.apply_exec(exp).run()
             }
         }
     }

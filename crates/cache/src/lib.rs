@@ -26,17 +26,21 @@
 //! // 3 evicts 2 (LRU), not 1.
 //! assert!(matches!(c.access(3), AccessOutcome::Miss { evicted: Some(2) }));
 //! ```
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `prefetch` scopes a single allow around
+// the `_mm_prefetch` intrinsic (a pure hint — no memory is dereferenced).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lru;
 mod monitor;
 mod partitioned;
 mod policy;
+mod prefetch;
 mod setassoc;
 
 pub use lru::{AccessOutcome, LruCache};
 pub use monitor::{MonitorConfig, UtilityMonitor};
 pub use partitioned::PartitionedCache;
 pub use policy::{DrripPolicy, LruPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy};
+pub use prefetch::{advise_hugepages, prefetch_read};
 pub use setassoc::{CacheStats, SetAssocCache};

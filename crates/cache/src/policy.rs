@@ -21,11 +21,27 @@ pub trait ReplacementPolicy: std::fmt::Debug {
     fn victim(&mut self, set: usize) -> usize;
     /// `(set, way)` was invalidated (made free).
     fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+    /// Hint the host to pull `set`'s replacement state toward L1 (see
+    /// [`crate::prefetch_read`]). A pure performance hint — must not
+    /// change any observable policy state. Default: nothing.
+    fn prefetch(&self, _set: usize) {}
 }
 
-/// True LRU: per-set recency stamps.
+/// True LRU.
+///
+/// For `ways ≤ 16` (every cache in this repo) the full recency *order* of
+/// a set is packed into one `u64` as a nibble list — way index at nibble 0
+/// is MRU, at nibble `ways - 1` is LRU. That is 8 B of state per set
+/// instead of `8 × ways` B of recency stamps, small enough that the whole
+/// LRU state of an LLC-sized cache stays resident in the host's own cache;
+/// with stamps, every simulated access paid a scattered host-memory touch.
+/// Wider caches fall back to per-way stamps. Both representations encode
+/// the same total order, so victim choice is identical.
 #[derive(Debug, Default)]
 pub struct LruPolicy {
+    /// Nibble-packed recency order per set (`ways ≤ 16`), else empty.
+    order: Vec<u64>,
+    /// Per-way recency stamps (`ways > 16`), else empty.
     stamp: Vec<u64>,
     ways: usize,
     clock: u64,
@@ -42,17 +58,50 @@ impl LruPolicy {
     }
 
     fn touch(&mut self, set: usize, way: usize) {
-        self.clock += 1;
-        let i = self.idx(set, way);
-        self.stamp[i] = self.clock;
+        if !self.order.is_empty() {
+            // Move `way`'s nibble to the MRU end (nibble 0), shifting the
+            // more-recent nibbles up one position.
+            let order = self.order[set];
+            let mut pos = 0;
+            while (order >> (4 * pos)) & 0xF != way as u64 {
+                pos += 1;
+            }
+            let below = order & ((1u64 << (4 * pos)) - 1);
+            let above = if pos >= 15 {
+                0
+            } else {
+                order & !((1u64 << (4 * pos + 4)) - 1)
+            };
+            self.order[set] = above | (below << 4) | way as u64;
+        } else {
+            self.clock += 1;
+            let i = self.idx(set, way);
+            self.stamp[i] = self.clock;
+        }
     }
 }
 
 impl ReplacementPolicy for LruPolicy {
     fn configure(&mut self, sets: usize, ways: usize) {
         self.ways = ways;
-        self.stamp = vec![0; sets * ways];
         self.clock = 0;
+        if ways <= 16 {
+            // Initial order is any permutation: `victim` is only consulted
+            // once a set is full, by which point every way has been
+            // touched. Descending puts way 0 at the LRU end, matching the
+            // stamp representation's all-zero tie-break.
+            let mut init = 0u64;
+            for w in 0..ways {
+                init |= ((ways - 1 - w) as u64) << (4 * w);
+            }
+            self.order = vec![init; sets];
+            self.stamp = Vec::new();
+        } else {
+            self.order = Vec::new();
+            self.stamp = Vec::with_capacity(sets * ways);
+            crate::advise_hugepages(&mut self.stamp);
+            self.stamp.resize(sets * ways, 0);
+        }
     }
 
     fn on_hit(&mut self, set: usize, way: usize) {
@@ -64,6 +113,9 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn victim(&mut self, set: usize) -> usize {
+        if !self.order.is_empty() {
+            return ((self.order[set] >> (4 * (self.ways - 1))) & 0xF) as usize;
+        }
         let base = set * self.ways;
         let mut best = 0;
         let mut best_stamp = u64::MAX;
@@ -78,8 +130,27 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        let i = self.idx(set, way);
-        self.stamp[i] = 0;
+        // Only the relative order of *valid* ways can ever matter: the
+        // cache fills free ways by index without consulting the policy,
+        // and `victim` runs only on full sets, after every way has been
+        // re-touched. The nibble order therefore needs no update here.
+        if self.order.is_empty() {
+            let i = self.idx(set, way);
+            self.stamp[i] = 0;
+        }
+    }
+
+    fn prefetch(&self, set: usize) {
+        if !self.order.is_empty() {
+            // Nibble orders are 8 B per set — the whole array stays
+            // host-resident, so a hint would only occupy a fill buffer
+            // that a tag-line prefetch could use.
+        } else {
+            // A set's stamps are 8 B × ways, contiguous: hint both ends.
+            let base = set * self.ways;
+            crate::prefetch_read(&self.stamp[base]);
+            crate::prefetch_read(&self.stamp[base + self.ways - 1]);
+        }
     }
 }
 
@@ -144,7 +215,9 @@ impl SrripPolicy {
 impl ReplacementPolicy for SrripPolicy {
     fn configure(&mut self, sets: usize, ways: usize) {
         self.ways = ways;
-        self.rrpv = vec![self.max; sets * ways];
+        self.rrpv = Vec::with_capacity(sets * ways);
+        crate::advise_hugepages(&mut self.rrpv);
+        self.rrpv.resize(sets * ways, self.max);
     }
 
     fn on_hit(&mut self, set: usize, way: usize) {
@@ -171,6 +244,11 @@ impl ReplacementPolicy for SrripPolicy {
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
         self.rrpv[set * self.ways + way] = self.max;
+    }
+
+    fn prefetch(&self, set: usize) {
+        // A set's RRPVs are 1 B × ways: one line covers them.
+        crate::prefetch_read(&self.rrpv[set * self.ways]);
     }
 }
 
@@ -233,7 +311,9 @@ impl ReplacementPolicy for DrripPolicy {
     fn configure(&mut self, sets: usize, ways: usize) {
         self.ways = ways;
         self.sets = sets;
-        self.rrpv = vec![self.max; sets * ways];
+        self.rrpv = Vec::with_capacity(sets * ways);
+        crate::advise_hugepages(&mut self.rrpv);
+        self.rrpv.resize(sets * ways, self.max);
         self.psel = 0;
     }
 
@@ -278,6 +358,10 @@ impl ReplacementPolicy for DrripPolicy {
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
         self.rrpv[set * self.ways + way] = self.max;
+    }
+
+    fn prefetch(&self, set: usize) {
+        crate::prefetch_read(&self.rrpv[set * self.ways]);
     }
 }
 

@@ -39,7 +39,13 @@ impl CacheStats {
 /// zcache banks; see DESIGN.md for the associativity substitution).
 #[derive(Debug)]
 pub struct SetAssocCache<P: ReplacementPolicy> {
-    tags: Vec<Option<u64>>,
+    /// Packed tag slab, `sets × ways`, validity tracked in [`Self::valid`].
+    /// `Vec<Option<u64>>` would double this to 16 B per entry; at LLC scale
+    /// the slab is tens of MB probed in hash-scattered order, so halving it
+    /// halves the host cache lines touched per simulated access.
+    tags: Vec<u64>,
+    /// One validity bitmask per set (bit `w` = way `w` holds a line).
+    valid: Vec<u64>,
     sets: usize,
     ways: usize,
     policy: P,
@@ -55,9 +61,16 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize, mut policy: P) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        assert!(ways <= 64, "validity bitmask holds at most 64 ways");
         policy.configure(sets, ways);
+        // Reserve, advise huge pages, then touch: LLC-sized tag slabs on
+        // 4 KB pages thrash the host TLB (see `advise_hugepages`).
+        let mut tags = Vec::with_capacity(sets * ways);
+        crate::advise_hugepages(&mut tags);
+        tags.resize(sets * ways, 0);
         Self {
-            tags: vec![None; sets * ways],
+            tags,
+            valid: vec![0; sets],
             sets,
             ways,
             policy,
@@ -103,44 +116,74 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         let set = self.set_of(addr);
         let base = set * self.ways;
+        let v = self.valid[set];
+        // Branchless probe: compare every way (the compiler vectorizes the
+        // fixed-bound loop over the packed slab), then mask out stale tags
+        // in invalidated ways. Lowest valid match, as a linear scan would
+        // find.
+        let mut m = 0u64;
         for w in 0..self.ways {
-            if self.tags[base + w] == Some(addr) {
-                self.policy.on_hit(set, w);
-                self.stats.hits += 1;
-                return AccessOutcome::Hit;
-            }
+            m |= u64::from(self.tags[base + w] == addr) << w;
+        }
+        if m & v != 0 {
+            let w = (m & v).trailing_zeros() as usize;
+            self.policy.on_hit(set, w);
+            self.stats.hits += 1;
+            return AccessOutcome::Hit;
         }
         self.stats.misses += 1;
-        // Fill: free way if any, else policy victim.
-        let (way, evicted) = match (0..self.ways).find(|&w| self.tags[base + w].is_none()) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.policy.victim(set);
-                debug_assert!(w < self.ways);
-                let old = self.tags[base + w];
-                self.stats.evictions += 1;
-                (w, old)
-            }
+        // Fill: lowest free way if any, else policy victim.
+        let free = (!v).trailing_zeros() as usize;
+        let (way, evicted) = if free < self.ways {
+            (free, None)
+        } else {
+            let w = self.policy.victim(set);
+            debug_assert!(w < self.ways);
+            let old = self.tags[base + w];
+            self.stats.evictions += 1;
+            (w, Some(old))
         };
-        self.tags[base + way] = Some(addr);
+        self.tags[base + way] = addr;
+        self.valid[set] = v | (1u64 << way);
         self.policy.on_insert(set, way);
         AccessOutcome::Miss { evicted }
+    }
+
+    /// Hints the host to pull `addr`'s set — tag slab and replacement
+    /// state — toward L1 ahead of a future [`access`](Self::access). A
+    /// pure performance hint: changes nothing observable. Batched scheme
+    /// loops issue this for event `i + k` while serving event `i`; the
+    /// arrays are tens of MB and hash-scattered, so the host-cache miss
+    /// is otherwise on the critical path of every simulated access.
+    pub fn prefetch(&self, addr: u64) {
+        let set = self.set_of(addr);
+        let base = set * self.ways;
+        // Packed `u64` tags are 8 B each: a 16-way set spans two 64 B
+        // lines. Hint every line of the span.
+        let mut w = 0;
+        while w < self.ways {
+            crate::prefetch_read(&self.tags[base + w]);
+            w += 8;
+        }
+        self.policy.prefetch(set);
     }
 
     /// Checks residency without touching replacement state.
     pub fn contains(&self, addr: u64) -> bool {
         let set = self.set_of(addr);
         let base = set * self.ways;
-        (0..self.ways).any(|w| self.tags[base + w] == Some(addr))
+        let v = self.valid[set];
+        (0..self.ways).any(|w| self.tags[base + w] == addr && (v >> w) & 1 != 0)
     }
 
     /// Invalidates `addr` if resident; returns whether it was present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let set = self.set_of(addr);
         let base = set * self.ways;
+        let v = self.valid[set];
         for w in 0..self.ways {
-            if self.tags[base + w] == Some(addr) {
-                self.tags[base + w] = None;
+            if self.tags[base + w] == addr && (v >> w) & 1 != 0 {
+                self.valid[set] = v & !(1u64 << w);
                 self.policy.on_invalidate(set, w);
                 return true;
             }
@@ -154,13 +197,10 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         let mut count = 0;
         for set in 0..self.sets {
             for w in 0..self.ways {
-                let i = set * self.ways + w;
-                if let Some(a) = self.tags[i] {
-                    if pred(a) {
-                        self.tags[i] = None;
-                        self.policy.on_invalidate(set, w);
-                        count += 1;
-                    }
+                if (self.valid[set] >> w) & 1 != 0 && pred(self.tags[set * self.ways + w]) {
+                    self.valid[set] &= !(1u64 << w);
+                    self.policy.on_invalidate(set, w);
+                    count += 1;
                 }
             }
         }
@@ -169,12 +209,12 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_some()).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// True if nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.tags.iter().all(|t| t.is_none())
+        self.valid.iter().all(|&v| v == 0)
     }
 
     /// Total line capacity.

@@ -122,12 +122,23 @@ fn smoke() {
             )
         })
         .collect();
+    // The perf-regression gate watches the rate-0.02 pass (the sweet spot
+    // the sweep engine uses): sampled-vs-exact speedup plus the raw
+    // sampled throughput, so a slowdown in either the exact or sampled
+    // path trips the gate.
+    let gated = rows
+        .iter()
+        .find(|r| (r.rate - 0.02).abs() < 1e-9)
+        .unwrap_or(&rows[0]);
     let json = format!(
         "{{\"bench\":\"mrc_profile\",\"app\":\"{app}\",\"events\":{events},\
          \"instructions\":{instrs},\"distinct_lines\":{},\"granule_lines\":{GRANULE},\
-         \"exact\":{{\"ns\":{exact_ns}}},\"sampled\":[{}]}}",
+         \"exact\":{{\"ns\":{exact_ns}}},\"sampled\":[{}],\
+         \"gate\":{{\"sampled_speedup\":{:.2},\"sampled_events_per_sec\":{:.0}}}}}",
         exact_hist.cold_misses(),
         sampled_json.join(","),
+        exact_ns as f64 / gated.ns as f64,
+        events as f64 * 1e9 / gated.ns as f64,
     );
     let out = std::env::var_os("WP_BENCH_JSON")
         .map(PathBuf::from)

@@ -10,10 +10,12 @@
 use std::path::PathBuf;
 
 use wp_noc::CoreId;
-use wp_trace::{TraceError, TraceWriter};
+use wp_trace::{EventBatch, TraceError, TraceWriter};
 
 use crate::config::SystemConfig;
-use crate::scheme::{AccessContext, LlcOutcome, LlcScheme, Workload, WorkloadBundle};
+use crate::scheme::{
+    AccessContext, BatchClock, LlcOutcome, LlcResponse, LlcScheme, Workload, WorkloadBundle,
+};
 use crate::stats::CoreStats;
 use crate::uncore::Uncore;
 use crate::EnergyBreakdown;
@@ -21,6 +23,39 @@ use crate::EnergyBreakdown;
 /// Events processed per scheduling quantum (per core, before the driver
 /// re-picks the laggard core).
 const QUANTUM_EVENTS: usize = 256;
+
+/// How the driver moves events from workloads into the scheme.
+///
+/// Both modes produce bit-identical [`RunSummary`]s (and bit-identical
+/// captures): the scheduling quanta, the per-event clock arithmetic, and
+/// the access sequence the scheme observes are the same. `Batched` pulls
+/// each quantum as one [`EventBatch`] slice instead of 256 virtual calls,
+/// which lets trace replay decode chunks in bulk (zero-copy from an mmap,
+/// on a lookahead thread) and lets schemes prefetch ahead — the warm-sweep
+/// throughput path. `PerEvent` remains as the reference implementation and
+/// regression baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One `next_event` virtual call per event (reference path).
+    PerEvent,
+    /// Quantum-sized event slices through `fill_batch`/`access_batch`.
+    #[default]
+    Batched,
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "per-event" | "perevent" | "event" => Ok(ExecMode::PerEvent),
+            "batched" | "batch" => Ok(ExecMode::Batched),
+            other => Err(format!(
+                "unknown exec mode '{other}' (expected 'per-event' or 'batched')"
+            )),
+        }
+    }
+}
 
 /// Run-level configuration: the simulated system plus driver options that
 /// are not part of the modelled hardware.
@@ -37,6 +72,8 @@ pub struct SimConfig {
     pub system: SystemConfig,
     /// Record every pulled event to this `.wpt` file.
     pub capture_to: Option<PathBuf>,
+    /// How events are moved from workloads into the scheme.
+    pub exec: ExecMode,
 }
 
 impl SimConfig {
@@ -45,6 +82,7 @@ impl SimConfig {
         Self {
             system,
             capture_to: None,
+            exec: ExecMode::default(),
         }
     }
 
@@ -52,6 +90,13 @@ impl SimConfig {
     #[must_use]
     pub fn capture_to(mut self, path: impl Into<PathBuf>) -> Self {
         self.capture_to = Some(path.into());
+        self
+    }
+
+    /// Selects the event delivery path (see [`ExecMode`]).
+    #[must_use]
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -146,6 +191,11 @@ pub struct MultiCoreSim<S: LlcScheme> {
     runners: Vec<Option<CoreRunner>>,
     last_reconfig: u64,
     capture: Option<Capture>,
+    exec: ExecMode,
+    /// Quantum scratch for the batched path, reused across quanta so the
+    /// steady state allocates nothing.
+    batch: EventBatch,
+    responses: Vec<LlcResponse>,
 }
 
 impl<S: LlcScheme> std::fmt::Debug for MultiCoreSim<S> {
@@ -166,6 +216,9 @@ impl<S: LlcScheme> MultiCoreSim<S> {
             runners: (0..cores).map(|_| None).collect(),
             last_reconfig: 0,
             capture: None,
+            exec: ExecMode::default(),
+            batch: EventBatch::with_capacity(QUANTUM_EVENTS),
+            responses: Vec::with_capacity(QUANTUM_EVENTS),
         }
     }
 
@@ -173,6 +226,7 @@ impl<S: LlcScheme> MultiCoreSim<S> {
     /// file if one is configured. Errors only on capture-file creation.
     pub fn with_config(config: SimConfig, scheme: S) -> Result<Self, TraceError> {
         let mut sim = Self::new(config.system, scheme);
+        sim.exec = config.exec;
         if let Some(path) = &config.capture_to {
             let cores = sim.runners.len();
             sim.capture = Some(Capture {
@@ -224,6 +278,16 @@ impl<S: LlcScheme> MultiCoreSim<S> {
             counted: None,
             active: true,
         });
+    }
+
+    /// Selects the event delivery path for subsequent `run` calls.
+    pub fn set_exec_mode(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// The current event delivery path.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Immutable access to the scheme (for occupancy maps etc.).
@@ -324,6 +388,86 @@ impl<S: LlcScheme> MultiCoreSim<S> {
     }
 
     fn step_core(&mut self, core_idx: usize, target: u64) {
+        match self.exec {
+            ExecMode::PerEvent => self.step_core_events(core_idx, target),
+            ExecMode::Batched => self.step_core_batched(core_idx, target),
+        }
+    }
+
+    /// One quantum through the batched path. Bit-identical to
+    /// [`step_core_events`](Self::step_core_events): the batch is filled in
+    /// pull order (capture sees the same stream), the scheme replays the
+    /// per-event clock protocol via [`BatchClock`], and the stats fold
+    /// below repeats the identical f64 sequence per event.
+    fn step_core_batched(&mut self, core_idx: usize, target: u64) {
+        let core = CoreId(core_idx as u16);
+        let config = self.uncore.config().clone();
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut responses = std::mem::take(&mut self.responses);
+        batch.clear();
+        responses.clear();
+
+        let runner = self.runners[core_idx].as_mut().expect("runner exists");
+        let n = runner.trace.fill_batch(&mut batch, QUANTUM_EVENTS);
+        debug_assert_eq!(n, batch.len());
+        if let Some(cap) = &mut self.capture {
+            for i in 0..n {
+                cap.record(
+                    core_idx,
+                    &crate::scheme::TraceEvent {
+                        gap_instrs: batch.gaps[i],
+                        line: batch.lines[i],
+                        is_write: batch.writes[i],
+                    },
+                );
+            }
+        }
+
+        let runner = self.runners[core_idx].as_mut().expect("runner exists");
+        let mut clock = BatchClock::new(runner.stats.cycles, config.base_cpi, config.mlp, core_idx);
+        self.scheme
+            .access_batch(core, &batch, &mut clock, &mut self.uncore, &mut responses);
+        debug_assert_eq!(responses.len(), n, "one response per event");
+
+        let runner = self.runners[core_idx].as_mut().expect("runner exists");
+        for (i, resp) in responses.iter().enumerate() {
+            runner.stats.instructions += batch.gaps[i] as u64;
+            runner.stats.cycles += batch.gaps[i] as f64 * config.base_cpi;
+            let stall = resp.latency / config.mlp;
+            runner.stats.cycles += stall;
+            runner.stats.stall_cycles += stall;
+            runner.stats.llc_accesses += 1;
+            match resp.outcome {
+                LlcOutcome::Hit => runner.stats.llc_hits += 1,
+                LlcOutcome::Miss => runner.stats.llc_misses += 1,
+                LlcOutcome::Bypass => {
+                    runner.stats.llc_bypasses += 1;
+                    runner.stats.llc_accesses -= 1;
+                }
+            }
+            let measured = runner.stats.instructions - runner.baseline.instructions;
+            if runner.counted.is_none() && measured >= target {
+                runner.counted = Some(runner.stats.delta(&runner.baseline));
+            }
+        }
+        debug_assert_eq!(
+            runner.stats.cycles.to_bits(),
+            clock.cycles.to_bits(),
+            "stats fold must replay the batch clock exactly"
+        );
+        // A short fill is the batched form of `next_event() == None`.
+        if n < QUANTUM_EVENTS {
+            runner.active = false;
+            if runner.counted.is_none() {
+                runner.counted = Some(runner.stats.delta(&runner.baseline));
+            }
+        }
+
+        self.batch = batch;
+        self.responses = responses;
+    }
+
+    fn step_core_events(&mut self, core_idx: usize, target: u64) {
         let core = CoreId(core_idx as u16);
         let config = self.uncore.config().clone();
         for _ in 0..QUANTUM_EVENTS {

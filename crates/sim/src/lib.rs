@@ -31,14 +31,17 @@ mod stats;
 mod uncore;
 
 pub use config::SystemConfig;
-pub use driver::{CoreRunner, MultiCoreSim, RunSummary, SimConfig};
+pub use driver::{CoreRunner, ExecMode, MultiCoreSim, RunSummary, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
 pub use hierarchy::{PrivateHierarchy, PrivateLookup};
 pub use memory::MemoryChannels;
 pub use replay::{trace_bundle, trace_pools, TraceWorkload};
 pub use scheme::{
-    AccessContext, LlcOutcome, LlcResponse, LlcScheme, PoolDescriptor, TraceEvent, Workload,
-    WorkloadBundle,
+    AccessContext, BatchClock, LlcOutcome, LlcResponse, LlcScheme, PoolDescriptor, TraceEvent,
+    Workload, WorkloadBundle,
 };
+// The batch type workloads and schemes exchange, re-exported so scheme
+// crates need not name `wp-trace` directly.
 pub use stats::{json_string, CoreStats};
 pub use uncore::Uncore;
+pub use wp_trace::EventBatch;

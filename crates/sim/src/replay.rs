@@ -10,18 +10,50 @@
 use std::path::{Path, PathBuf};
 
 use wp_mem::PoolId;
+use wp_trace::{BatchReader, EventBatch, PrefetchBatches};
 
 use crate::scheme::{PoolDescriptor, TraceEvent, Workload, WorkloadBundle};
 
+/// The batched decode source behind [`TraceWorkload::fill_batch`].
+enum BatchSource {
+    /// Decode chunks inline, on the simulating thread.
+    Direct(BatchReader),
+    /// Decode chunk N+1 on a lookahead thread while N simulates.
+    Prefetch(PrefetchBatches),
+}
+
+impl BatchSource {
+    fn next_chunk(&mut self, batch: &mut EventBatch) -> Result<Option<u16>, wp_trace::TraceError> {
+        match self {
+            BatchSource::Direct(r) => r.next_chunk(batch),
+            BatchSource::Prefetch(p) => p.next_chunk(batch),
+        }
+    }
+}
+
 /// A [`Workload`] that streams one stream of a `.wpt` trace file.
 ///
-/// Reading is streaming (one chunk in memory); the workload ends when the
-/// stream does. I/O or corruption mid-replay panics with the underlying
-/// [`TraceError`](wp_trace::TraceError) — a half-replayed trace would
-/// otherwise masquerade as a short but valid run. Use
-/// [`wp_trace::TraceReader`] directly for fallible consumption.
+/// Under the per-event interface, reading is streaming (one chunk in
+/// memory) through [`wp_trace::TraceReader`]. Under the batched interface
+/// ([`Workload::fill_batch`], the default [`ExecMode`](crate::ExecMode)),
+/// chunks decode zero-copy out of an mmapped image — by default on a
+/// lookahead thread, so decode overlaps simulation; set `WP_PREFETCH=0`
+/// to decode inline. Both interfaces yield the identical event sequence;
+/// a run uses one or the other, never a mix.
+///
+/// The workload ends when the stream does. I/O or corruption mid-replay
+/// panics with the underlying [`TraceError`](wp_trace::TraceError) — a
+/// half-replayed trace would otherwise masquerade as a short but valid
+/// run. Use [`wp_trace::TraceReader`] directly for fallible consumption.
 pub struct TraceWorkload {
     reader: wp_trace::TraceReader<std::io::BufReader<std::fs::File>>,
+    /// Lazily opened on first `fill_batch`, so per-event runs never pay
+    /// for a mapping (and batched runs never pay for `reader` beyond the
+    /// header validation it performed at open).
+    batched: Option<BatchSource>,
+    /// The current decoded chunk of our stream, and the read cursor into it.
+    chunk: EventBatch,
+    chunk_pos: usize,
     stream: u16,
     path: PathBuf,
 }
@@ -46,9 +78,49 @@ impl TraceWorkload {
     pub fn open_stream(path: &Path, stream: u16) -> Result<Self, wp_trace::TraceError> {
         Ok(Self {
             reader: wp_trace::TraceReader::open(path)?,
+            batched: None,
+            chunk: EventBatch::new(),
+            chunk_pos: 0,
             stream,
             path: path.to_path_buf(),
         })
+    }
+
+    /// Decodes chunks until the next one belonging to our stream sits in
+    /// `self.chunk`; false at end of trace.
+    fn refill(&mut self) -> bool {
+        let batched = match &mut self.batched {
+            Some(b) => b,
+            None => {
+                let prefetch = !matches!(
+                    std::env::var("WP_PREFETCH").as_deref(),
+                    Ok("0") | Ok("off") | Ok("false")
+                );
+                let source = if prefetch {
+                    PrefetchBatches::open_stream(&self.path, self.stream).map(BatchSource::Prefetch)
+                } else {
+                    BatchReader::open_stream(&self.path, self.stream).map(BatchSource::Direct)
+                };
+                match source {
+                    Ok(s) => self.batched.insert(s),
+                    Err(e) => panic!("replay of {} failed: {e}", self.path.display()),
+                }
+            }
+        };
+        loop {
+            match batched.next_chunk(&mut self.chunk) {
+                Ok(Some(sid)) if sid == self.stream => {
+                    self.chunk_pos = 0;
+                    return true;
+                }
+                Ok(Some(_)) => continue, // another core's stream
+                Ok(None) => {
+                    self.chunk_pos = self.chunk.len();
+                    return false;
+                }
+                Err(e) => panic!("replay of {} failed: {e}", self.path.display()),
+            }
+        }
     }
 }
 
@@ -68,6 +140,20 @@ impl Workload for TraceWorkload {
                 Err(e) => panic!("replay of {} failed: {e}", self.path.display()),
             }
         }
+    }
+
+    fn fill_batch(&mut self, batch: &mut EventBatch, max: usize) -> usize {
+        let mut filled = 0;
+        while filled < max {
+            if self.chunk_pos == self.chunk.len() && !self.refill() {
+                break;
+            }
+            let take = (max - filled).min(self.chunk.len() - self.chunk_pos);
+            batch.extend_from(&self.chunk, self.chunk_pos, take);
+            self.chunk_pos += take;
+            filled += take;
+        }
+        filled
     }
 }
 

@@ -2,6 +2,7 @@
 
 use wp_mem::{LineAddr, PageId, PoolId};
 use wp_noc::CoreId;
+use wp_trace::EventBatch;
 
 use crate::uncore::Uncore;
 
@@ -30,6 +31,28 @@ pub struct TraceEvent {
 pub trait Workload: Send {
     /// The next event, or `None` when the workload has finished.
     fn next_event(&mut self) -> Option<TraceEvent>;
+
+    /// Appends up to `max` events to `batch`, returning how many were
+    /// produced. Fewer than `max` (including zero) means the workload has
+    /// finished — exactly the condition under which
+    /// [`next_event`](Workload::next_event) would have returned `None`
+    /// within the next `max` pulls.
+    ///
+    /// The default pulls through `next_event`, so every workload is
+    /// batchable; sources with a cheaper bulk path
+    /// ([`TraceWorkload`](crate::TraceWorkload)) override it. A workload
+    /// must be driven through one interface or the other for the whole
+    /// run, not a mix — both consume the same underlying stream.
+    fn fill_batch(&mut self, batch: &mut EventBatch, max: usize) -> usize {
+        let start = batch.len();
+        while batch.len() - start < max {
+            match self.next_event() {
+                Some(ev) => batch.push(ev.gap_instrs, ev.line, ev.is_write),
+                None => break,
+            }
+        }
+        batch.len() - start
+    }
 }
 
 impl<F: FnMut() -> Option<TraceEvent> + Send> Workload for F {
@@ -93,6 +116,61 @@ pub struct LlcResponse {
     pub outcome: LlcOutcome,
 }
 
+/// The per-event clock protocol of a batched quantum.
+///
+/// The driver's per-event loop advances the core clock and the uncore's
+/// notion of "now" around every scheme access:
+///
+/// ```text
+/// cycles += gap · base_cpi;  now = max(now, cycles as u64);   // pre
+/// resp = scheme.access(...);
+/// cycles += resp.latency / mlp;                               // post
+/// ```
+///
+/// Event *i+1*'s memory queueing depends on event *i*'s latency through
+/// `now`, so a batched scheme cannot reorder accesses — what it gains from
+/// the batch is *lookahead* (prefetching tag arrays for upcoming lines),
+/// not reordering. `BatchClock` packages the exact f64 arithmetic above so
+/// every [`LlcScheme::access_batch`] implementation replays it
+/// bit-identically; the driver then replays the same sequence once more
+/// when it folds latencies into per-core statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchClock {
+    /// The executing core's local clock, in cycles.
+    pub cycles: f64,
+    base_cpi: f64,
+    mlp: f64,
+    core_idx: usize,
+}
+
+impl BatchClock {
+    /// Starts a quantum clock at `cycles` for core `core_idx`.
+    pub fn new(cycles: f64, base_cpi: f64, mlp: f64, core_idx: usize) -> Self {
+        Self {
+            cycles,
+            base_cpi,
+            mlp,
+            core_idx,
+        }
+    }
+
+    /// Advances past the instruction gap before an access and publishes
+    /// the core's clock to the uncore — must precede the scheme access.
+    #[inline]
+    pub fn pre_access(&mut self, gap_instrs: u32, uncore: &mut Uncore) {
+        self.cycles += f64::from(gap_instrs) * self.base_cpi;
+        uncore.interval_instructions[self.core_idx] += u64::from(gap_instrs);
+        uncore.now = uncore.now.max(self.cycles as u64);
+    }
+
+    /// Charges an access's stall to the clock — must follow the scheme
+    /// access, before the next event's `pre_access`.
+    #[inline]
+    pub fn post_access(&mut self, latency: f64) {
+        self.cycles += latency / self.mlp;
+    }
+}
+
 /// A last-level cache management scheme.
 ///
 /// Implementations receive every LLC-bound access, charge latency/energy
@@ -113,6 +191,39 @@ pub trait LlcScheme: Send {
 
     /// Serves one LLC-bound access.
     fn access(&mut self, ctx: AccessContext, uncore: &mut Uncore) -> LlcResponse;
+
+    /// Serves one quantum of accesses from `core`, pushing one response
+    /// per event onto `out`.
+    ///
+    /// Must be observably identical to calling [`access`](Self::access)
+    /// per event under the [`BatchClock`] protocol — same responses, same
+    /// uncore/energy mutations, same internal state. The default does
+    /// exactly that. Overrides exist purely for speed: with the whole
+    /// batch visible, a scheme can software-prefetch the tag/replacement
+    /// arrays of *upcoming* events' banks while serving the current one,
+    /// which per-event virtual dispatch can never do.
+    fn access_batch(
+        &mut self,
+        core: CoreId,
+        batch: &EventBatch,
+        clock: &mut BatchClock,
+        uncore: &mut Uncore,
+        out: &mut Vec<LlcResponse>,
+    ) {
+        for i in 0..batch.len() {
+            clock.pre_access(batch.gaps[i], uncore);
+            let resp = self.access(
+                AccessContext {
+                    core,
+                    line: batch.lines[i],
+                    is_write: batch.writes[i],
+                },
+                uncore,
+            );
+            clock.post_access(resp.latency);
+            out.push(resp);
+        }
+    }
 
     /// Called at every reconfiguration interval (25 ms in the paper).
     /// Dynamic schemes re-size/re-place here; static ones do nothing.
@@ -137,6 +248,19 @@ impl LlcScheme for Box<dyn LlcScheme> {
 
     fn access(&mut self, ctx: AccessContext, uncore: &mut Uncore) -> LlcResponse {
         self.as_mut().access(ctx, uncore)
+    }
+
+    fn access_batch(
+        &mut self,
+        core: CoreId,
+        batch: &EventBatch,
+        clock: &mut BatchClock,
+        uncore: &mut Uncore,
+        out: &mut Vec<LlcResponse>,
+    ) {
+        // Forward explicitly so a concrete scheme's override still fires
+        // through the usual `Box<dyn LlcScheme>` the harness hands around.
+        self.as_mut().access_batch(core, batch, clock, uncore, out);
     }
 
     fn reconfigure(&mut self, uncore: &mut Uncore) {

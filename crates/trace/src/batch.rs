@@ -1,0 +1,857 @@
+//! Column-batched chunk decode: the zero-copy fast path of the reader.
+//!
+//! The streaming [`TraceReader`](crate::TraceReader) yields one
+//! [`TraceRecord`](crate::TraceRecord) at a time through a `VecDeque`,
+//! which is the right shape for tools but costs a queue round-trip, a
+//! pool lookup, and a virtual call per event when the simulator replays
+//! millions of them. This module decodes whole chunks at once:
+//!
+//! * [`EventBatch`] — a chunk's events as three flat columns
+//!   (gaps/lines/write flags), reused across chunks so steady-state decode
+//!   allocates nothing.
+//! * [`BatchReader`] — walks an in-memory (usually mmapped) `.wpt` image
+//!   block by block, decoding each chunk payload in place into an
+//!   `EventBatch`. Structural validation — CRCs, counts, overflow checks,
+//!   `End`-block totals — is byte-for-byte the same as the streaming
+//!   reader's, because both run on the shared decode in this module.
+//! * [`PrefetchBatches`] — a `BatchReader` on a worker thread, decoding
+//!   chunk N+1 while the simulator chews on chunk N; batches recycle
+//!   through a bounded channel so the pair holds a fixed set of slabs.
+
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use wp_mem::LineAddr;
+
+use crate::bits::unpack_into;
+use crate::crc::crc32;
+use crate::meta::StreamMeta;
+use crate::mmap::TraceData;
+use crate::varint::{get_varint, unzigzag};
+use crate::{
+    TraceError, MAGIC, MAX_BLOCK_BYTES, MAX_CHUNK_EVENTS, TAG_CHUNK, TAG_END, TAG_STREAM_DEF,
+    VERSION,
+};
+
+/// One chunk's worth of events, as flat columns.
+///
+/// The columns always have equal length. Reusing one batch across
+/// [`BatchReader::next_chunk`] calls keeps decode allocation-free once the
+/// slabs have grown to the trace's chunk size.
+#[derive(Debug, Default, Clone)]
+pub struct EventBatch {
+    /// Instructions since the previous event, per event.
+    pub gaps: Vec<u32>,
+    /// Line accessed, per event.
+    pub lines: Vec<LineAddr>,
+    /// Write flag, per event.
+    pub writes: Vec<bool>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` events per column.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            gaps: Vec::with_capacity(n),
+            lines: Vec::with_capacity(n),
+            writes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Clears all columns, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.gaps.clear();
+        self.lines.clear();
+        self.writes.clear();
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, gap_instrs: u32, line: LineAddr, is_write: bool) {
+        self.gaps.push(gap_instrs);
+        self.lines.push(line);
+        self.writes.push(is_write);
+    }
+
+    /// Appends `len` events of `src` starting at `start` — the column
+    /// copy the replay workload uses to hand the driver quantum-sized
+    /// slices of a decoded chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds `src.len()`.
+    pub fn extend_from(&mut self, src: &EventBatch, start: usize, len: usize) {
+        self.gaps.extend_from_slice(&src.gaps[start..start + len]);
+        self.lines.extend_from_slice(&src.lines[start..start + len]);
+        self.writes
+            .extend_from_slice(&src.writes[start..start + len]);
+    }
+}
+
+/// Reusable column buffers for the packed→batch transform.
+#[derive(Debug, Default)]
+pub(crate) struct DecodeScratch {
+    gaps: Vec<u64>,
+    flags: Vec<u64>,
+    deltas: Vec<u64>,
+}
+
+/// Parses the stream id off the front of a chunk payload, returning it and
+/// the offset of the rest of the chunk body.
+pub(crate) fn chunk_stream_id(payload: &[u8]) -> Result<(u64, usize), TraceError> {
+    let mut pos = 0;
+    let stream = get_varint(payload, &mut pos)?;
+    Ok((stream, pos))
+}
+
+/// Decodes a chunk body (everything after the stream id) into `batch`,
+/// appending its events and returning the instructions they cover.
+///
+/// `first_chunk` selects the absolute-base encoding of the stream's first
+/// event. All validation (counts, widths, overflow, trailing bytes)
+/// matches the historical streaming decoder exactly — this *is* the
+/// streaming decoder now, hoisted out so both readers share it.
+pub(crate) fn decode_chunk_body(
+    payload: &[u8],
+    mut pos: usize,
+    first_chunk: bool,
+    scratch: &mut DecodeScratch,
+    batch: &mut EventBatch,
+) -> Result<u64, TraceError> {
+    let count = get_varint(payload, &mut pos)?;
+    if count == 0 || count > MAX_CHUNK_EVENTS {
+        return Err(TraceError::Corrupt(format!("chunk of {count} events")));
+    }
+    let count = count as usize;
+    let base_line = get_varint(payload, &mut pos)?;
+
+    let min_gap = get_varint(payload, &mut pos)?;
+    let gap_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
+    pos += 1;
+    unpack_into(payload, &mut pos, count, gap_bits, &mut scratch.gaps)?;
+
+    let write_mode = *payload.get(pos).ok_or(TraceError::Truncated)?;
+    pos += 1;
+    match write_mode {
+        0 => {
+            scratch.flags.clear();
+            scratch.flags.resize(count, 0);
+        }
+        1 => {
+            scratch.flags.clear();
+            scratch.flags.resize(count, 1);
+        }
+        2 => unpack_into(payload, &mut pos, count, 1, &mut scratch.flags)?,
+        m => return Err(TraceError::Corrupt(format!("write mode {m}"))),
+    }
+
+    // The first event of a stream is stored absolutely as the base line;
+    // every later event is a delta off its predecessor.
+    let skip = usize::from(first_chunk);
+    let min_zz = get_varint(payload, &mut pos)?;
+    let addr_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
+    pos += 1;
+    unpack_into(
+        payload,
+        &mut pos,
+        count - skip,
+        addr_bits,
+        &mut scratch.deltas,
+    )?;
+    if pos != payload.len() {
+        return Err(TraceError::Corrupt("trailing bytes in chunk".into()));
+    }
+
+    let mut line = base_line;
+    let mut instrs = 0u64;
+    for i in 0..count {
+        let gap = min_gap
+            .checked_add(scratch.gaps[i])
+            .filter(|&g| g <= u64::from(u32::MAX))
+            .ok_or_else(|| TraceError::Corrupt("gap overflows u32".into()))?;
+        if i >= skip {
+            let zz = min_zz
+                .checked_add(scratch.deltas[i - skip])
+                .ok_or_else(|| TraceError::Corrupt("address delta overflows".into()))?;
+            line = line.wrapping_add(unzigzag(zz) as u64);
+        }
+        instrs += gap;
+        batch.push(gap as u32, LineAddr(line), scratch.flags[i] == 1);
+    }
+    Ok(instrs)
+}
+
+#[derive(Debug)]
+struct BatchStream {
+    meta: StreamMeta,
+    events: u64,
+    instrs: u64,
+    /// Chunks of this stream were frame-walked past undecoded (followed
+    /// reads), so its totals are unknown and exempt from the end check.
+    skipped: bool,
+}
+
+/// Chunk-at-a-time decoder over an in-memory `.wpt` image.
+///
+/// Equivalent in every observable way to draining a
+/// [`TraceReader`](crate::TraceReader) — same events, same totals
+/// validation, same [`TraceError`]s on the same malformed inputs — but it
+/// hands back whole chunks as column batches and reads payloads directly
+/// out of the (usually mmapped) file image, so there is no per-event or
+/// per-block copy.
+#[derive(Debug)]
+pub struct BatchReader {
+    data: Arc<TraceData>,
+    pos: usize,
+    streams: Vec<BatchStream>,
+    scratch: DecodeScratch,
+    ended: bool,
+    chunks: u64,
+    follow: Option<u16>,
+}
+
+impl BatchReader {
+    /// Opens and maps `path`, validating the file header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::new(Arc::new(TraceData::open(path)?))
+    }
+
+    /// [`open`](Self::open), following only stream `stream` (see
+    /// [`follow`](Self::follow)).
+    pub fn open_stream(path: &Path, stream: u16) -> Result<Self, TraceError> {
+        Ok(Self::new(Arc::new(TraceData::open(path)?))?.follow(stream))
+    }
+
+    /// Wraps an already-loaded trace image, validating the file header.
+    pub fn new(data: Arc<TraceData>) -> Result<Self, TraceError> {
+        let buf = data.bytes();
+        let Some(head) = buf.get(..8) else {
+            return Err(TraceError::Truncated);
+        };
+        if head[..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        // head[6..8]: flags (reserved).
+        Ok(Self {
+            data,
+            pos: 8,
+            streams: Vec::new(),
+            scratch: DecodeScratch::default(),
+            ended: false,
+            chunks: 0,
+            follow: None,
+        })
+    }
+
+    /// Follows one stream: [`next_chunk`](Self::next_chunk) skips other
+    /// streams' chunks as a pure frame walk — no CRC, no decode — so a
+    /// per-core replay of an N-stream capture does ~1/N of the file's
+    /// validation and decode work instead of all of it. The followed
+    /// stream's chunks, the stream definitions, the end block, and the
+    /// block framing are still validated exactly as in an unfiltered
+    /// read; skipped streams are exempt from the end-block totals check.
+    /// An all-streams replay therefore still validates every chunk —
+    /// each core's reader covers its own stream.
+    #[must_use]
+    pub fn follow(mut self, stream: u16) -> Self {
+        self.follow = Some(stream);
+        self
+    }
+
+    /// Stream definitions seen so far.
+    pub fn streams(&self) -> impl Iterator<Item = &StreamMeta> {
+        self.streams.iter().map(|s| &s.meta)
+    }
+
+    /// Metadata of stream `id`, if defined.
+    pub fn stream(&self, id: u16) -> Option<&StreamMeta> {
+        self.streams.get(usize::from(id)).map(|s| &s.meta)
+    }
+
+    /// Chunks decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks
+    }
+
+    /// The shared trace image.
+    pub fn data(&self) -> &Arc<TraceData> {
+        &self.data
+    }
+
+    /// Decodes the next chunk into `batch` (cleared first), returning the
+    /// stream it belongs to, or `Ok(None)` at a clean end of trace.
+    pub fn next_chunk(&mut self, batch: &mut EventBatch) -> Result<Option<u16>, TraceError> {
+        batch.clear();
+        loop {
+            if self.ended {
+                return Ok(None);
+            }
+            // Clone the Arc so `payload` borrows the image, not `self`
+            // (check_end and the stream table need `&mut self`).
+            let data = Arc::clone(&self.data);
+            let buf = data.bytes();
+            let block_offset = self.pos as u64;
+            let Some(&tag) = buf.get(self.pos) else {
+                // The image just stops (no End block): truncated, whatever
+                // the boundary it stops on.
+                return Err(TraceError::Truncated);
+            };
+            self.pos += 1;
+            let len = get_varint(buf, &mut self.pos)?;
+            if len > MAX_BLOCK_BYTES {
+                return Err(TraceError::Corrupt(format!("block of {len} bytes")));
+            }
+            let Some(crc_bytes) = buf.get(self.pos..self.pos + 4) else {
+                return Err(TraceError::Truncated);
+            };
+            let expect_crc =
+                u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+            self.pos += 4;
+            let Some(payload) = buf.get(self.pos..self.pos + len as usize) else {
+                return Err(TraceError::Truncated);
+            };
+            self.pos += len as usize;
+            // A followed read frame-walks past foreign chunks before the
+            // CRC: their payloads are never consumed here, and their
+            // owning stream's reader validates them.
+            if tag == TAG_CHUNK {
+                if let Some(f) = self.follow {
+                    let (stream, _) = chunk_stream_id(payload)?;
+                    if stream != u64::from(f) {
+                        if let Some(state) = self.streams.get_mut(stream as usize) {
+                            state.skipped = true;
+                        }
+                        continue;
+                    }
+                }
+            }
+            if crc32(payload) != expect_crc {
+                return Err(TraceError::Checksum {
+                    offset: block_offset,
+                });
+            }
+            match tag {
+                TAG_STREAM_DEF => {
+                    let meta = StreamMeta::decode(payload)?;
+                    if usize::from(meta.id) != self.streams.len() {
+                        return Err(TraceError::Corrupt(format!(
+                            "stream {} defined out of order (expected {})",
+                            meta.id,
+                            self.streams.len()
+                        )));
+                    }
+                    self.streams.push(BatchStream {
+                        meta,
+                        events: 0,
+                        instrs: 0,
+                        skipped: false,
+                    });
+                }
+                TAG_CHUNK => {
+                    let (stream, body) = chunk_stream_id(payload)?;
+                    let first_chunk = {
+                        let state = self.streams.get(stream as usize).ok_or_else(|| {
+                            TraceError::Corrupt(format!("chunk for undefined stream {stream}"))
+                        })?;
+                        state.events == 0
+                    };
+                    let instrs =
+                        decode_chunk_body(payload, body, first_chunk, &mut self.scratch, batch)?;
+                    let state = &mut self.streams[stream as usize];
+                    state.events += batch.len() as u64;
+                    state.instrs += instrs;
+                    self.chunks += 1;
+                    return Ok(Some(stream as u16));
+                }
+                TAG_END => {
+                    self.check_end(payload)?;
+                    // Loop once more: `ended` is set, so we return None.
+                }
+                t => return Err(TraceError::Corrupt(format!("unknown block tag {t}"))),
+            }
+        }
+    }
+
+    fn check_end(&mut self, payload: &[u8]) -> Result<(), TraceError> {
+        let mut pos = 0;
+        let n = get_varint(payload, &mut pos)?;
+        if n as usize != self.streams.len() {
+            return Err(TraceError::Corrupt(format!(
+                "end block lists {n} streams, file defined {}",
+                self.streams.len()
+            )));
+        }
+        for s in &self.streams {
+            let id = get_varint(payload, &mut pos)?;
+            let events = get_varint(payload, &mut pos)?;
+            let instrs = get_varint(payload, &mut pos)?;
+            // Skipped streams were frame-walked, not decoded, so their
+            // totals are unknowable here; their own reader checks them.
+            if id != u64::from(s.meta.id)
+                || (!s.skipped && (events != s.events || instrs != s.instrs))
+            {
+                return Err(TraceError::Corrupt(format!(
+                    "end block totals disagree for stream {}: {events} events / {instrs} \
+                     instrs recorded, {} / {} decoded",
+                    s.meta.id, s.events, s.instrs
+                )));
+            }
+        }
+        if pos != payload.len() {
+            return Err(TraceError::Corrupt("trailing bytes in end block".into()));
+        }
+        // The End block must be the last thing in the file.
+        if self.pos != self.data.bytes().len() {
+            return Err(TraceError::Corrupt(
+                "trailing data after the end block".into(),
+            ));
+        }
+        self.ended = true;
+        Ok(())
+    }
+}
+
+/// How many decoded chunks the prefetch thread may run ahead.
+const PREFETCH_DEPTH: usize = 4;
+
+type PrefetchMsg = Result<Option<(u16, EventBatch)>, TraceError>;
+
+/// A [`BatchReader`] running on its own thread, so chunk N+1 decodes while
+/// the consumer simulates chunk N.
+///
+/// Batches travel through a bounded channel and are recycled back to the
+/// decoder, so the pipeline owns a fixed set of slabs regardless of trace
+/// length. The thread exits when the trace ends, an error is delivered, or
+/// the handle is dropped.
+#[derive(Debug)]
+pub struct PrefetchBatches {
+    rx: Receiver<PrefetchMsg>,
+    recycle: SyncSender<EventBatch>,
+    done: bool,
+}
+
+impl PrefetchBatches {
+    /// Opens `path` (header validated eagerly, on the calling thread) and
+    /// starts the decode thread.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::start(BatchReader::open(path)?)
+    }
+
+    /// [`open`](Self::open) with the reader
+    /// [following](BatchReader::follow) one stream, so the decode thread
+    /// never spends time on (or ships) other streams' chunks.
+    pub fn open_stream(path: &Path, stream: u16) -> Result<Self, TraceError> {
+        Self::start(BatchReader::open_stream(path, stream)?)
+    }
+
+    /// Runs an existing reader on a decode thread.
+    pub fn start(mut reader: BatchReader) -> Result<Self, TraceError> {
+        let (tx, rx) = sync_channel::<PrefetchMsg>(PREFETCH_DEPTH);
+        let (recycle, slabs) = sync_channel::<EventBatch>(PREFETCH_DEPTH + 2);
+        for _ in 0..=PREFETCH_DEPTH {
+            recycle
+                .send(EventBatch::new())
+                .expect("fresh channel has capacity");
+        }
+        std::thread::Builder::new()
+            .name("wpt-prefetch".into())
+            .spawn(move || loop {
+                // Slab starvation means the consumer went away; so does a
+                // failed send. Either way the thread just leaves.
+                let Ok(mut batch) = slabs.recv() else { return };
+                match reader.next_chunk(&mut batch) {
+                    Ok(Some(stream)) => {
+                        if tx.send(Ok(Some((stream, batch)))).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => {
+                        let _ = tx.send(Ok(None));
+                        return;
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            })
+            .map_err(TraceError::Io)?;
+        Ok(Self {
+            rx,
+            recycle,
+            done: false,
+        })
+    }
+
+    /// The next decoded chunk, swapped into `batch`, and its stream id —
+    /// or `Ok(None)` at a clean end of trace. Mirrors
+    /// [`BatchReader::next_chunk`], including error behavior.
+    pub fn next_chunk(&mut self, batch: &mut EventBatch) -> Result<Option<u16>, TraceError> {
+        if self.done {
+            batch.clear();
+            return Ok(None);
+        }
+        match self.rx.recv() {
+            Ok(Ok(Some((stream, mut filled)))) => {
+                std::mem::swap(batch, &mut filled);
+                // Hand the consumer's old slab back to the decoder. The
+                // thread may already be gone (end of trace in flight);
+                // then the slab is simply dropped.
+                let _ = self.recycle.send(filled);
+                Ok(Some(stream))
+            }
+            Ok(Ok(None)) => {
+                self.done = true;
+                batch.clear();
+                Ok(None)
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            // The thread only exits after sending a terminal message, so a
+            // closed channel here means it panicked.
+            Err(_) => {
+                self.done = true;
+                Err(TraceError::Corrupt("prefetch decode thread died".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use crate::TraceReader;
+
+    fn encode(events: &[(u32, u64, bool)], chunk: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(chunk);
+        let s = w.add_stream("t", &[]).unwrap();
+        for &(gap, line, wr) in events {
+            w.record(s, gap, LineAddr(line), wr).unwrap();
+        }
+        w.finish().unwrap();
+        drop(w);
+        buf
+    }
+
+    fn drain_batched(buf: Vec<u8>) -> Result<Vec<(u32, u64, bool)>, TraceError> {
+        let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf)))?;
+        let mut batch = EventBatch::new();
+        let mut out = Vec::new();
+        while r.next_chunk(&mut batch)?.is_some() {
+            for i in 0..batch.len() {
+                out.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+            }
+        }
+        Ok(out)
+    }
+
+    fn drain_streaming(buf: &[u8]) -> Result<Vec<(u32, u64, bool)>, TraceError> {
+        let mut r = TraceReader::new(buf)?;
+        let mut out = Vec::new();
+        while let Some((_, rec)) = r.next_record()? {
+            out.push((rec.gap_instrs, rec.line.0, rec.is_write));
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn batched_matches_streaming_across_chunk_sizes() {
+        let events: Vec<(u32, u64, bool)> = (0..1000u64)
+            .map(|i| ((i % 13) as u32, 4000 + (i * 97) % 512, i % 4 == 0))
+            .collect();
+        for chunk in [1, 3, 7, 100, 4096] {
+            let buf = encode(&events, chunk);
+            let streaming = drain_streaming(&buf).unwrap();
+            let batched = drain_batched(buf).unwrap();
+            assert_eq!(batched, streaming, "chunk size {chunk}");
+            assert_eq!(batched, events);
+        }
+    }
+
+    #[test]
+    fn batch_slabs_are_reused() {
+        let events: Vec<(u32, u64, bool)> = (0..4096u64).map(|i| (1, i, false)).collect();
+        let buf = encode(&events, 256);
+        let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf))).unwrap();
+        let mut batch = EventBatch::new();
+        r.next_chunk(&mut batch).unwrap();
+        let cap = batch.gaps.capacity();
+        let ptr = batch.gaps.as_ptr();
+        while r.next_chunk(&mut batch).unwrap().is_some() {}
+        assert_eq!(batch.gaps.capacity(), cap, "slab must not regrow");
+        assert_eq!(batch.gaps.as_ptr(), ptr, "slab must not reallocate");
+    }
+
+    #[test]
+    fn truncation_is_an_error_in_both_readers() {
+        let events: Vec<(u32, u64, bool)> = (0..100).map(|i| (2, 50 + i, false)).collect();
+        let buf = encode(&events, 16);
+        for cut in [buf.len() - 1, buf.len() - 5, buf.len() / 2] {
+            let cut_buf = buf[..cut].to_vec();
+            let streaming = drain_streaming(&cut_buf);
+            let batched = drain_batched(cut_buf);
+            assert!(batched.is_err(), "cut at {cut}");
+            assert_eq!(
+                format!("{}", batched.unwrap_err()),
+                format!("{}", streaming.unwrap_err()),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_error_identically() {
+        let events: Vec<(u32, u64, bool)> = (0..200).map(|i| (3, 9 * i, i % 2 == 0)).collect();
+        let buf = encode(&events, 32);
+        for at in (8..buf.len()).step_by(11) {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            let streaming = drain_streaming(&bad);
+            let batched = drain_batched(bad);
+            match (streaming, batched) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "flip at {at}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a}"), format!("{b}"), "flip at {at}")
+                }
+                (a, b) => panic!("flip at {at}: streaming {a:?} vs batched {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_matches_direct() {
+        let events: Vec<(u32, u64, bool)> = (0..5000u64)
+            .map(|i| ((i % 5) as u32, i * 3 % 701, i % 7 == 0))
+            .collect();
+        let buf = encode(&events, 64);
+        let direct = drain_batched(buf.clone()).unwrap();
+        let mut p =
+            PrefetchBatches::start(BatchReader::new(Arc::new(TraceData::from_vec(buf))).unwrap())
+                .unwrap();
+        let mut batch = EventBatch::new();
+        let mut out = Vec::new();
+        while p.next_chunk(&mut batch).unwrap().is_some() {
+            for i in 0..batch.len() {
+                out.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+            }
+        }
+        assert_eq!(out, direct);
+        // Draining past the end stays a clean None.
+        assert!(p.next_chunk(&mut batch).unwrap().is_none());
+    }
+
+    #[test]
+    fn prefetch_surfaces_errors() {
+        let events: Vec<(u32, u64, bool)> = (0..100).map(|i| (1, i, false)).collect();
+        let mut buf = encode(&events, 16);
+        buf.truncate(buf.len() - 3);
+        let mut p =
+            PrefetchBatches::start(BatchReader::new(Arc::new(TraceData::from_vec(buf))).unwrap())
+                .unwrap();
+        let mut batch = EventBatch::new();
+        let r = loop {
+            match p.next_chunk(&mut batch) {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(matches!(r, Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn multi_stream_chunks_tagged_by_stream() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(4);
+        let a = w.add_stream("a", &[]).unwrap();
+        let b = w.add_stream("b", &[]).unwrap();
+        for i in 0..16u64 {
+            w.record(a, 10, LineAddr(i), false).unwrap();
+            w.record(b, 20, LineAddr(1000 + i), true).unwrap();
+        }
+        w.finish().unwrap();
+        drop(w);
+        let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf))).unwrap();
+        let mut batch = EventBatch::new();
+        let mut per_stream = [0usize; 2];
+        while let Some(sid) = r.next_chunk(&mut batch).unwrap() {
+            per_stream[usize::from(sid)] += batch.len();
+            let expect_gap = if sid == a { 10 } else { 20 };
+            assert!(batch.gaps.iter().all(|&g| g == expect_gap));
+        }
+        assert_eq!(per_stream, [16, 16]);
+        assert_eq!(r.streams().count(), 2);
+    }
+
+    fn two_stream_trace() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(8);
+        let a = w.add_stream("a", &[]).unwrap();
+        let b = w.add_stream("b", &[]).unwrap();
+        for i in 0..64u64 {
+            w.record(a, 10, LineAddr(i), false).unwrap();
+            w.record(b, 20, LineAddr(1000 + i * 2), true).unwrap();
+        }
+        w.finish().unwrap();
+        drop(w);
+        buf
+    }
+
+    #[test]
+    fn followed_read_yields_one_stream_and_passes_end_check() {
+        let buf = two_stream_trace();
+        // Reference: drain unfiltered, keep stream 1's events.
+        let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf.clone()))).unwrap();
+        let mut batch = EventBatch::new();
+        let mut want = Vec::new();
+        while let Some(sid) = r.next_chunk(&mut batch).unwrap() {
+            if sid == 1 {
+                for i in 0..batch.len() {
+                    want.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+                }
+            }
+        }
+        // Followed: stream 0's chunks are skipped undecoded, the end
+        // check (with stream 0's instr total unverifiable) still passes.
+        let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf)))
+            .unwrap()
+            .follow(1);
+        let mut got = Vec::new();
+        while let Some(sid) = r.next_chunk(&mut batch).unwrap() {
+            assert_eq!(sid, 1, "followed read must only yield stream 1");
+            for i in 0..batch.len() {
+                got.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+            }
+        }
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    /// `(stream, payload byte range)` of every chunk block in `buf`, by
+    /// walking the block framing by hand.
+    fn chunk_spans(buf: &[u8]) -> Vec<(u64, std::ops::Range<usize>)> {
+        let mut spans = Vec::new();
+        let mut pos = 8;
+        while pos < buf.len() {
+            let tag = buf[pos];
+            pos += 1;
+            let len = get_varint(buf, &mut pos).unwrap() as usize;
+            pos += 4; // crc
+            if tag == crate::TAG_CHUNK {
+                let mut p = pos;
+                let stream = get_varint(buf, &mut p).unwrap();
+                spans.push((stream, p..pos + len));
+            }
+            pos += len;
+            if tag == crate::TAG_END {
+                break;
+            }
+        }
+        spans
+    }
+
+    #[test]
+    fn followed_read_validates_own_chunks_and_walks_past_foreign_ones() {
+        let buf = two_stream_trace();
+        let spans = chunk_spans(&buf);
+        let clean = {
+            let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf.clone())))
+                .unwrap()
+                .follow(1);
+            let mut batch = EventBatch::new();
+            let mut out = Vec::new();
+            while r.next_chunk(&mut batch).unwrap().is_some() {
+                out.extend(batch.lines.iter().map(|l| l.0));
+            }
+            out
+        };
+        let drain = |data: Vec<u8>| {
+            let mut r = BatchReader::new(Arc::new(TraceData::from_vec(data)))
+                .unwrap()
+                .follow(1);
+            let mut batch = EventBatch::new();
+            let mut out = Vec::new();
+            loop {
+                match r.next_chunk(&mut batch) {
+                    Ok(Some(_)) => out.extend(batch.lines.iter().map(|l| l.0)),
+                    Ok(None) => return Ok(out),
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        // A flip inside a *followed* chunk body is a checksum error.
+        let (_, own) = spans.iter().find(|(s, _)| *s == 1).unwrap().clone();
+        let mut bad = buf.clone();
+        bad[own.start + own.len() / 2] ^= 0x04;
+        assert!(matches!(drain(bad), Err(TraceError::Checksum { .. })));
+        // A flip inside a *foreign* chunk body never reaches this reader:
+        // the frame walk steps over it and the followed stream decodes
+        // unchanged (stream 0's reader is the one that validates it).
+        let (_, foreign) = spans.iter().find(|(s, _)| *s == 0).unwrap().clone();
+        let mut bad = buf.clone();
+        bad[foreign.start + foreign.len() / 2] ^= 0x04;
+        assert_eq!(drain(bad).unwrap(), clean);
+    }
+
+    #[test]
+    fn prefetch_follow_matches_direct_follow() {
+        let buf = two_stream_trace();
+        let mut direct = BatchReader::new(Arc::new(TraceData::from_vec(buf.clone())))
+            .unwrap()
+            .follow(0);
+        let mut batch = EventBatch::new();
+        let mut want = Vec::new();
+        while direct.next_chunk(&mut batch).unwrap().is_some() {
+            for i in 0..batch.len() {
+                want.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+            }
+        }
+        let reader = BatchReader::new(Arc::new(TraceData::from_vec(buf)))
+            .unwrap()
+            .follow(0);
+        let mut p = PrefetchBatches::start(reader).unwrap();
+        let mut got = Vec::new();
+        while p.next_chunk(&mut batch).unwrap().is_some() {
+            for i in 0..batch.len() {
+                got.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn open_validates_header() {
+        assert!(matches!(
+            BatchReader::new(Arc::new(TraceData::from_vec(
+                b"NOPE\x01\x00\x00\x00".to_vec()
+            ))),
+            Err(TraceError::BadMagic)
+        ));
+        assert!(matches!(
+            BatchReader::new(Arc::new(TraceData::from_vec(vec![b'W']))),
+            Err(TraceError::Truncated)
+        ));
+    }
+}

@@ -43,17 +43,22 @@ pub fn packed_len(count: usize, width: u8) -> usize {
     (count * usize::from(width)).div_ceil(8)
 }
 
-/// Unpacks `count` `width`-bit values from `buf` at `*pos`, advancing it
-/// past the column. Errors with [`TraceError::Truncated`] if the buffer is
-/// too short.
-pub fn unpack(
+/// Unpacks `count` `width`-bit values from `buf` at `*pos` into a
+/// caller-owned buffer (cleared first), advancing `*pos` past the column —
+/// steady-state decode reuses one allocation per column instead of
+/// allocating per chunk. Errors with [`TraceError::Truncated`] if the
+/// buffer is too short.
+pub fn unpack_into(
     buf: &[u8],
     pos: &mut usize,
     count: usize,
     width: u8,
-) -> Result<Vec<u64>, TraceError> {
+    values: &mut Vec<u64>,
+) -> Result<(), TraceError> {
+    values.clear();
     if width == 0 {
-        return Ok(vec![0; count]);
+        values.resize(count, 0);
+        return Ok(());
     }
     if width > 64 {
         return Err(TraceError::Corrupt(format!("bit width {width} > 64")));
@@ -63,7 +68,7 @@ pub fn unpack(
         return Err(TraceError::Truncated);
     };
     *pos += need;
-    let mut values = Vec::with_capacity(count);
+    values.reserve(count);
     let mut acc = 0u128;
     let mut acc_bits = 0u32;
     let mut next = bytes.iter();
@@ -81,12 +86,23 @@ pub fn unpack(
         acc >>= width;
         acc_bits -= u32::from(width);
     }
-    Ok(values)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn unpack(
+        buf: &[u8],
+        pos: &mut usize,
+        count: usize,
+        width: u8,
+    ) -> Result<Vec<u64>, TraceError> {
+        let mut values = Vec::new();
+        unpack_into(buf, pos, count, width, &mut values)?;
+        Ok(values)
+    }
 
     #[test]
     fn bits_for_edges() {

@@ -30,17 +30,33 @@
 //! Readers and writers are streaming: memory use is one chunk per stream,
 //! never the whole trace. Malformed input (truncation, bit flips, garbage)
 //! surfaces as [`TraceError`] — never a panic.
-#![forbid(unsafe_code)]
+//!
+//! # Two read paths
+//!
+//! [`TraceReader`] is the streaming, record-at-a-time decoder every tool
+//! uses. [`BatchReader`] decodes the same format chunk-at-a-time into flat
+//! [`EventBatch`] columns straight out of an mmapped file image
+//! ([`TraceData`]), optionally on a lookahead thread ([`PrefetchBatches`])
+//! — the simulator's hot replay path. Both run the identical shared chunk
+//! decoder, so they accept and reject exactly the same inputs.
+//
+// `unsafe` is denied rather than forbidden: the single exception is the
+// FFI mmap in `mmap.rs`, which carries its own scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bits;
 mod crc;
 mod meta;
+mod mmap;
 mod reader;
 mod varint;
 mod writer;
 
+pub use batch::{BatchReader, EventBatch, PrefetchBatches};
 pub use meta::{PoolMeta, StreamMeta, TraceRecord};
+pub use mmap::TraceData;
 pub use reader::{StreamInfo, TraceInfo, TraceReader};
 pub use writer::{TraceWriter, DEFAULT_CHUNK_EVENTS};
 

@@ -4,16 +4,11 @@ use std::collections::VecDeque;
 use std::io::Read;
 use std::path::Path;
 
-use wp_mem::LineAddr;
-
-use crate::bits::unpack;
+use crate::batch::{chunk_stream_id, decode_chunk_body, DecodeScratch, EventBatch};
 use crate::crc::crc32;
 use crate::meta::{PoolLookup, StreamMeta, TraceRecord};
-use crate::varint::{get_varint, unzigzag};
-use crate::{
-    TraceError, MAGIC, MAX_BLOCK_BYTES, MAX_CHUNK_EVENTS, TAG_CHUNK, TAG_END, TAG_STREAM_DEF,
-    VERSION,
-};
+use crate::varint::get_varint;
+use crate::{TraceError, MAGIC, MAX_BLOCK_BYTES, TAG_CHUNK, TAG_END, TAG_STREAM_DEF, VERSION};
 
 #[derive(Debug)]
 struct StreamState {
@@ -44,6 +39,10 @@ pub struct TraceReader<R: Read> {
     /// Byte offset of the next unread block (for error reporting).
     offset: u64,
     chunks: u64,
+    /// Reusable decode buffers (chunk decode is shared with
+    /// [`BatchReader`](crate::BatchReader); see `batch.rs`).
+    scratch: DecodeScratch,
+    batch: EventBatch,
 }
 
 impl TraceReader<std::io::BufReader<std::fs::File>> {
@@ -76,6 +75,8 @@ impl<R: Read> TraceReader<R> {
             ended: false,
             offset: 8,
             chunks: 0,
+            scratch: DecodeScratch::default(),
+            batch: EventBatch::new(),
         })
     }
 
@@ -157,66 +158,36 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn decode_chunk(&mut self, payload: &[u8]) -> Result<(), TraceError> {
-        let mut pos = 0;
-        let stream = get_varint(payload, &mut pos)?;
-        let state = self
-            .streams
-            .get_mut(stream as usize)
-            .ok_or_else(|| TraceError::Corrupt(format!("chunk for undefined stream {stream}")))?;
-        let count = get_varint(payload, &mut pos)?;
-        if count == 0 || count > MAX_CHUNK_EVENTS {
-            return Err(TraceError::Corrupt(format!("chunk of {count} events")));
-        }
-        let count = count as usize;
-        let base_line = get_varint(payload, &mut pos)?;
-
-        let min_gap = get_varint(payload, &mut pos)?;
-        let gap_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
-        pos += 1;
-        let gaps = unpack(payload, &mut pos, count, gap_bits)?;
-
-        let write_mode = *payload.get(pos).ok_or(TraceError::Truncated)?;
-        pos += 1;
-        let writes: Vec<u64> = match write_mode {
-            0 => vec![0; count],
-            1 => vec![1; count],
-            2 => unpack(payload, &mut pos, count, 1)?,
-            m => return Err(TraceError::Corrupt(format!("write mode {m}"))),
+        let (stream, body) = chunk_stream_id(payload)?;
+        let first_chunk = {
+            let state = self.streams.get(stream as usize).ok_or_else(|| {
+                TraceError::Corrupt(format!("chunk for undefined stream {stream}"))
+            })?;
+            state.events == 0
         };
-
-        // The first event of a stream is stored absolutely as the base
-        // line; every later event is a delta off its predecessor.
-        let skip = usize::from(state.events == 0);
-        let min_zz = get_varint(payload, &mut pos)?;
-        let addr_bits = *payload.get(pos).ok_or(TraceError::Truncated)?;
-        pos += 1;
-        let deltas = unpack(payload, &mut pos, count - skip, addr_bits)?;
-        if pos != payload.len() {
-            return Err(TraceError::Corrupt("trailing bytes in chunk".into()));
+        self.batch.clear();
+        let instrs = decode_chunk_body(
+            payload,
+            body,
+            first_chunk,
+            &mut self.scratch,
+            &mut self.batch,
+        )?;
+        let state = &mut self.streams[stream as usize];
+        for i in 0..self.batch.len() {
+            let line = self.batch.lines[i];
+            self.queue.push_back((
+                stream as u16,
+                TraceRecord {
+                    gap_instrs: self.batch.gaps[i],
+                    line,
+                    is_write: self.batch.writes[i],
+                    pool: state.lookup.pool_of(line),
+                },
+            ));
         }
-
-        let mut line = base_line;
-        for i in 0..count {
-            let gap = min_gap
-                .checked_add(gaps[i])
-                .filter(|&g| g <= u64::from(u32::MAX))
-                .ok_or_else(|| TraceError::Corrupt("gap overflows u32".into()))?;
-            if i >= skip {
-                let zz = min_zz
-                    .checked_add(deltas[i - skip])
-                    .ok_or_else(|| TraceError::Corrupt("address delta overflows".into()))?;
-                line = line.wrapping_add(unzigzag(zz) as u64);
-            }
-            let rec = TraceRecord {
-                gap_instrs: gap as u32,
-                line: LineAddr(line),
-                is_write: writes[i] == 1,
-                pool: state.lookup.pool_of(LineAddr(line)),
-            };
-            state.events += 1;
-            state.instrs += u64::from(rec.gap_instrs);
-            self.queue.push_back((stream as u16, rec));
-        }
+        state.events += self.batch.len() as u64;
+        state.instrs += instrs;
         self.chunks += 1;
         Ok(())
     }
@@ -387,6 +358,7 @@ impl TraceInfo {
 mod tests {
     use super::*;
     use crate::writer::TraceWriter;
+    use wp_mem::LineAddr;
 
     fn encode(events: &[(u32, u64, bool)], chunk: usize) -> Vec<u8> {
         let mut buf = Vec::new();

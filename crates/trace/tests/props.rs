@@ -2,9 +2,14 @@
 //! round-trip exactly, and damaged files must fail with an error — never
 //! a panic, never a silently wrong decode.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use wp_mem::{LineAddr, PageId};
-use wp_trace::{PoolMeta, TraceError, TraceReader, TraceWriter};
+use wp_trace::{
+    BatchReader, EventBatch, PoolMeta, PrefetchBatches, TraceData, TraceError, TraceReader,
+    TraceWriter,
+};
 
 type Event = (u32, u64, bool);
 
@@ -48,6 +53,34 @@ fn decode(buf: &[u8]) -> Result<Vec<Event>, TraceError> {
     Ok(out)
 }
 
+/// Drains the batched (chunk-at-a-time, zero-copy) reader into the same
+/// flat event list the streaming [`decode`] produces.
+fn decode_batched(buf: &[u8]) -> Result<Vec<Event>, TraceError> {
+    let mut r = BatchReader::new(Arc::new(TraceData::from_vec(buf.to_vec())))?;
+    let mut batch = EventBatch::new();
+    let mut out = Vec::new();
+    while r.next_chunk(&mut batch)?.is_some() {
+        for i in 0..batch.len() {
+            out.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+        }
+    }
+    Ok(out)
+}
+
+/// Same, through the prefetch-thread pipeline.
+fn decode_prefetched(buf: &[u8]) -> Result<Vec<Event>, TraceError> {
+    let reader = BatchReader::new(Arc::new(TraceData::from_vec(buf.to_vec())))?;
+    let mut p = PrefetchBatches::start(reader)?;
+    let mut batch = EventBatch::new();
+    let mut out = Vec::new();
+    while p.next_chunk(&mut batch)?.is_some() {
+        for i in 0..batch.len() {
+            out.push((batch.gaps[i], batch.lines[i].0, batch.writes[i]));
+        }
+    }
+    Ok(out)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -67,6 +100,61 @@ proptest! {
         prop_assert_eq!(&a, &evs);
         prop_assert_eq!(&b, &evs);
         prop_assert_eq!(&c, &evs);
+    }
+
+    #[test]
+    fn batched_reader_matches_streaming(evs in events(300), chunk in 1usize..80) {
+        // Chunk sizes from 1 (every chunk single-event) to larger than
+        // the stream (one odd-sized chunk) — the final chunk is almost
+        // always partial. Both batch paths must yield the exact event
+        // sequence the streaming reader does.
+        let buf = encode(&evs, chunk);
+        let streaming = decode(&buf).expect("clean file decodes");
+        prop_assert_eq!(&decode_batched(&buf).unwrap(), &streaming);
+        prop_assert_eq!(&decode_prefetched(&buf).unwrap(), &streaming);
+        prop_assert_eq!(streaming, evs);
+    }
+
+    #[test]
+    fn batched_truncation_errors_match_streaming(
+        evs in events(60),
+        chunk in 1usize..20,
+        frac in 0.0f64..1.0,
+    ) {
+        let buf = encode(&evs, chunk);
+        let cut = ((buf.len() as f64 * frac) as usize).min(buf.len() - 1);
+        let streaming = decode(&buf[..cut]).expect_err("prefix must not decode");
+        let batched = decode_batched(&buf[..cut]).expect_err("prefix must not decode");
+        prop_assert_eq!(streaming.to_string(), batched.to_string(), "cut at {}", cut);
+    }
+
+    #[test]
+    fn batched_bit_flip_behavior_matches_streaming(
+        evs in events(80),
+        chunk in 1usize..20,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let clean = encode(&evs, chunk);
+        let mut dirty = clean.clone();
+        let pos = ((dirty.len() as f64 * pos_frac) as usize).min(dirty.len() - 1);
+        dirty[pos] ^= 1 << bit;
+        // Whatever the streaming reader does with the damage — reject it
+        // (same TraceError) or, for a flip in dead space, decode the same
+        // events — the batched reader must do identically.
+        match (decode(&dirty), decode_batched(&dirty)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "flip at byte {}", pos),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.to_string(), b.to_string(), "flip at byte {}", pos);
+            }
+            (a, b) => {
+                prop_assert!(
+                    false,
+                    "flip at byte {} diverged: streaming {:?} vs batched {:?}",
+                    pos, a, b
+                );
+            }
+        }
     }
 
     #[test]

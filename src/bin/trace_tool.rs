@@ -12,6 +12,8 @@
 //!                           [--exact | --sample-rate R] [--s-max N]
 //!                           [--granule L] [--json]
 //!                           [--verify-exact] [--max-err E] [--capacity-slack S]
+//! trace_tool bench-check --baseline <BENCH_*.json>... --fresh-dir <dir>
+//!                        [--max-regress R]
 //! ```
 //!
 //! `record` runs one registry app — or, with several apps, a whole
@@ -32,6 +34,12 @@
 //! one file scan. `--verify-exact` profiles both ways and exits non-zero
 //! if the sampled miss ratio strays more than `--max-err` (default 0.02)
 //! from exact at any capacity, which is the contract CI enforces.
+//!
+//! `bench-check` is CI's perf-regression gate: it pairs each committed
+//! `BENCH_*.json` baseline with the same-named fresh report in
+//! `--fresh-dir` and fails if any metric in the baseline's `"gate"`
+//! object (bigger-is-better speedups and events/s) fell more than
+//! `--max-regress` (default 0.25) below the committed value.
 //!
 //! Everything goes through the [`Experiment`] builder, so bad inputs —
 //! unknown apps or schemes (with did-you-mean suggestions), too many
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
         Some("dump") => cmd_dump(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("bench-check") => cmd_bench_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -93,6 +102,11 @@ usage:
                     [--s-max N] [--granule L] [--json] [--verify-exact] [--max-err E] [--capacity-slack S]
                     (miss curves straight from the trace: exact Mattson or
                      SHARDS-sampled, all requested streams in one scan)
+  trace_tool bench-check --baseline <BENCH_*.json>... --fresh-dir <dir>
+                    [--max-regress R]
+                    (compare each committed baseline's \"gate\" metrics against
+                     the same-named fresh report in <dir>; exits non-zero if any
+                     metric fell more than R, default 0.25, below baseline)
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
          Whirlpool, Whirlpool-NoBypass
@@ -137,6 +151,17 @@ impl<'a> Args<'a> {
 
     fn flag(&self, flag: &str) -> bool {
         self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Every value of a repeatable `--flag value` pair, in order.
+    fn values(&self, flag: &str) -> Vec<&str> {
+        self.rest
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .filter_map(|(i, _)| self.rest.get(i + 1))
+            .map(String::as_str)
+            .collect()
     }
 
     fn number(&self, flag: &str) -> Result<Option<u64>, String> {
@@ -637,6 +662,66 @@ fn print_profiles(
             println!("    max |miss-ratio error| vs exact: {:.4}", errs[i]);
         }
     }
+}
+
+/// `bench-check`: the CI perf gate. Each committed `BENCH_*.json`
+/// baseline is paired by file name with a freshly measured report in
+/// `--fresh-dir`; every numeric metric in the baseline's `"gate"` object
+/// (all bigger-is-better throughputs/speedups) must stay above
+/// `baseline * (1 - max_regress)`.
+fn cmd_bench_check(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest, &["--baseline", "--fresh-dir", "--max-regress"], &[])?;
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "bench-check takes no positional arguments (got '{}')",
+            args.positional[0]
+        ));
+    }
+    let baselines = args.values("--baseline");
+    if baselines.is_empty() {
+        return Err("bench-check needs at least one --baseline <BENCH_*.json>".into());
+    }
+    let fresh_dir = PathBuf::from(
+        args.value("--fresh-dir")
+            .ok_or("bench-check needs --fresh-dir <dir>")?,
+    );
+    let max_regress = match args.value("--max-regress") {
+        None => 0.25,
+        Some(v) => {
+            let r: f64 = v
+                .parse()
+                .map_err(|_| format!("--max-regress expects a number, got '{v}'"))?;
+            if !(0.0..1.0).contains(&r) {
+                return Err(format!("--max-regress must be in [0, 1), got {r}"));
+            }
+            r
+        }
+    };
+    let mut regressions = 0usize;
+    for baseline in baselines {
+        let baseline = Path::new(baseline);
+        let name = baseline
+            .file_name()
+            .ok_or_else(|| format!("--baseline '{}' has no file name", baseline.display()))?;
+        let fresh = fresh_dir.join(name);
+        let comparisons = whirlpool_repro::bench_check::check_files(baseline, &fresh, max_regress)?;
+        println!("{}:", name.to_string_lossy());
+        for c in &comparisons {
+            println!("  {c}");
+            regressions += usize::from(c.regressed);
+        }
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} gate metric(s) regressed more than {:.0}% vs committed baselines",
+            max_regress * 100.0
+        ));
+    }
+    eprintln!(
+        "bench-check: all gate metrics within {:.0}%",
+        max_regress * 100.0
+    );
+    Ok(())
 }
 
 fn cmd_replay(rest: &[String]) -> Result<(), String> {

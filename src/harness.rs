@@ -21,7 +21,7 @@ use wp_jigsaw::JigsawScheme;
 use wp_mem::{CallpointId, PageId, LINES_PER_PAGE};
 use wp_noc::CoreId;
 use wp_paws::{core_workloads, schedule, ParallelClassification, SchedPolicy, Schedule};
-use wp_sim::{LlcScheme, MultiCoreSim, RunSummary, SystemConfig, WorkloadBundle};
+use wp_sim::{ExecMode, LlcScheme, MultiCoreSim, RunSummary, SystemConfig, WorkloadBundle};
 use wp_trace::{TraceError, TraceInfo};
 use wp_whirltool::{cluster, profile, ProfilerConfig};
 use wp_workloads::parallel::{ParallelApp, ParallelSpec};
@@ -506,6 +506,12 @@ pub const MIX_WARMUP_INSTRS: u64 = 6_000_000;
 /// fixed-work), matching the Fig. 22 4-core configuration.
 pub const MIX_MEASURE_INSTRS: u64 = 8_000_000;
 
+/// The `WP_EXEC` environment override for the event delivery path
+/// (`per-event` or `batched`), if set and parseable.
+fn default_exec_mode() -> Option<ExecMode> {
+    std::env::var("WP_EXEC").ok()?.parse().ok()
+}
+
 /// Default RNG seed for the per-core trace streams of a mix.
 const MIX_SEED: u64 = 0xC0FE;
 
@@ -637,6 +643,7 @@ pub struct Experiment {
     sys: Option<SystemConfig>,
     seed: Option<u64>,
     capture_to: Option<PathBuf>,
+    exec: Option<ExecMode>,
 }
 
 impl Experiment {
@@ -650,6 +657,7 @@ impl Experiment {
             sys: None,
             seed: None,
             capture_to: None,
+            exec: None,
         }
     }
 
@@ -792,6 +800,17 @@ impl Experiment {
     #[must_use]
     pub fn capture_to(mut self, path: impl Into<PathBuf>) -> Self {
         self.capture_to = Some(path.into());
+        self
+    }
+
+    /// Overrides the event delivery path (default: `WP_EXEC` if set and
+    /// parseable — `per-event` or `batched` — else [`ExecMode::default`]).
+    /// Both modes produce bit-identical [`RunSummary`]s; this knob exists
+    /// for the throughput benchmarks and determinism tests that compare
+    /// the two.
+    #[must_use]
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = Some(exec);
         self
     }
 
@@ -954,6 +973,10 @@ impl Experiment {
         let mut cfg = wp_sim::SimConfig::new(sys);
         if let Some(path) = self.capture_to {
             cfg = cfg.capture_to(path);
+        }
+        let exec = self.exec.or_else(default_exec_mode);
+        if let Some(exec) = exec {
+            cfg = cfg.exec_mode(exec);
         }
         let mut sim = MultiCoreSim::with_config(cfg, scheme)?;
         for (core, bundle) in attachments {

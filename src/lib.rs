@@ -24,4 +24,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_check;
 pub mod harness;
