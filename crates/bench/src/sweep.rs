@@ -40,6 +40,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use whirlpool_repro::harness::{
     descriptors_for, run_budget, Classification, Experiment, HarnessError, SchemeKind,
@@ -48,6 +49,13 @@ use wp_sim::{ExecMode, RunSummary, TraceWorkload, WorkloadBundle};
 use wp_workloads::{registry, AppModel};
 
 use crate::measure_budget;
+
+/// Whether the opt-in `WP_PROGRESS=1` stderr heartbeat is on. Off by
+/// default: a sweep then writes nothing per cell, and stdout (the JSON
+/// emission) is bit-identical either way.
+fn progress_enabled() -> bool {
+    matches!(std::env::var("WP_PROGRESS").as_deref(), Ok("1") | Ok("on"))
+}
 
 /// Worker-thread count: `WP_JOBS`, defaulting to every available core.
 pub fn default_jobs() -> usize {
@@ -278,6 +286,8 @@ impl SweepSpec {
             captures.into_iter().partition(|(_, _, _, p)| !p.exists());
         let cache_hits = warm.len();
         let cache_misses = missing.len();
+        wp_obs::add(wp_obs::Counter::TraceCacheHits, cache_hits as u64);
+        wp_obs::add(wp_obs::Counter::TraceCacheMisses, cache_misses as u64);
         if !missing.is_empty() {
             std::fs::create_dir_all(&self.cache_dir).map_err(wp_trace::TraceError::from)?;
             eprintln!(
@@ -294,32 +304,66 @@ impl SweepSpec {
         // Fan the cells out.
         let total = self.cells.len();
         let done = AtomicUsize::new(0);
+        let progress = progress_enabled();
+        let sweep_start = Instant::now();
         let summaries = parallel_map(self.jobs, total, |i| {
             let cell = &self.cells[i];
+            // A worker runs one cell at a time, so the thread-local phase
+            // delta across the cell is the cell's breakdown; drain any
+            // residue a previous cell (or capture) left on this thread.
+            let _ = wp_obs::take_thread_phases();
+            let cell_start = Instant::now();
             let summary = self.run_cell(cell)?;
+            let phases = wp_obs::take_thread_phases();
+            wp_obs::add(wp_obs::Counter::SweepCellsCompleted, 1);
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!(
-                "[sweep] {n}/{total} {} / {}",
-                cell.scheme.label(),
-                cell.work.label()
-            );
-            Ok(summary)
+            if progress {
+                let events: u64 = summary
+                    .cores
+                    .iter()
+                    .map(|c| c.llc_accesses + c.llc_bypasses)
+                    .sum();
+                let rate = events as f64 / cell_start.elapsed().as_secs_f64().max(1e-9);
+                let elapsed = sweep_start.elapsed().as_secs_f64();
+                let eta = elapsed / n as f64 * (total - n) as f64;
+                eprintln!(
+                    "[sweep] {n}/{total} {}/{} {:.2} Mev/s eta {:.0}s",
+                    cell.scheme.label(),
+                    cell.work.label(),
+                    rate / 1e6,
+                    eta,
+                );
+            }
+            Ok((summary, phases))
         })?;
+        let exec = self.effective_exec();
+        let jobs = self.jobs;
         let cells = self
             .cells
             .into_iter()
             .zip(summaries)
-            .map(|(cell, summary)| CellResult {
+            .map(|(cell, (summary, phases))| CellResult {
                 scheme: cell.scheme,
                 work: cell.work,
                 summary,
+                phases,
             })
             .collect();
         Ok(SweepResult {
             cells,
             cache_hits,
             cache_misses,
+            jobs,
+            exec,
         })
+    }
+
+    /// The event delivery path every cell will actually use: the sweep's
+    /// override, else `WP_EXEC`, else the default.
+    fn effective_exec(&self) -> ExecMode {
+        self.exec
+            .or_else(|| std::env::var("WP_EXEC").ok()?.parse().ok())
+            .unwrap_or_default()
     }
 
     /// Applies the sweep-wide exec-mode override, if any.
@@ -430,8 +474,8 @@ where
     let slots: Vec<Mutex<Option<Result<T, HarnessError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..jobs.clamp(1, n.max(1)) {
-            s.spawn(|| loop {
+        for w in 0..jobs.clamp(1, n.max(1)) {
+            let worker = || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
                 }
@@ -444,7 +488,12 @@ where
                     failed.store(true, Ordering::Relaxed);
                 }
                 *slots[i].lock().expect("result slot") = Some(r);
-            });
+            };
+            std::thread::Builder::new()
+                .name(format!("wp-sweep-{w}"))
+                .spawn_scoped(s, worker)
+                .expect("spawn sweep worker");
+            wp_obs::add(wp_obs::Counter::ThreadsSpawned, 1);
         }
     });
     let mut collected: Vec<Option<Result<T, HarnessError>>> = slots
@@ -477,9 +526,14 @@ pub struct CellResult {
     pub work: CellWork,
     /// The run's summary.
     pub summary: RunSummary,
+    /// Wall-clock phase breakdown of the cell (decode/warmup/measure/…),
+    /// attributed via the worker thread's span accumulator. Empty unless
+    /// the observability registry is on (`WP_OBS=1`).
+    pub phases: wp_obs::PhaseTotals,
 }
 
-/// A completed sweep: cell results in spec order plus cache statistics.
+/// A completed sweep: cell results in spec order plus the engine
+/// environment that produced them (exec mode, jobs, cache statistics).
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Per-cell results, in the order the cells were pushed.
@@ -488,26 +542,66 @@ pub struct SweepResult {
     pub cache_hits: usize,
     /// Captures that had to run.
     pub cache_misses: usize,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// The event delivery path every cell used.
+    pub exec: ExecMode,
 }
 
 impl SweepResult {
-    /// One machine-readable JSON line for the whole sweep. Deliberately
-    /// excludes the job count and cache statistics so the emission is
-    /// bit-identical whatever `WP_JOBS` and cache temperature were.
+    /// One machine-readable JSON line for the whole sweep:
+    /// `{"env":{…},"cells":[…]}`. The `env` block records the effective
+    /// exec mode, `WP_JOBS`, and trace-cache hit/miss counts so a
+    /// committed `BENCH_*.json` is self-describing; each cell additionally
+    /// carries its wall-clock `phases` breakdown when observability was
+    /// on. Those fields vary run to run by construction — comparisons
+    /// that assert determinism use [`cells_json`](Self::cells_json), the
+    /// projection that is bit-identical whatever `WP_JOBS`, cache
+    /// temperature, or `WP_OBS` were.
     pub fn to_json(&self) -> String {
-        let cells: Vec<String> = self
-            .cells
+        format!(
+            "{{\"env\":{},\"cells\":[{}]}}",
+            self.env_json(),
+            self.cell_rows(true).join(","),
+        )
+    }
+
+    /// The engine-environment block of [`to_json`](Self::to_json).
+    pub fn env_json(&self) -> String {
+        format!(
+            "{{\"exec\":{},\"jobs\":{},\"trace_cache_hits\":{},\"trace_cache_misses\":{}}}",
+            wp_sim::json_string(&self.exec.to_string()),
+            self.jobs,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+
+    /// The deterministic projection of the sweep: the cell results alone
+    /// (no env block, no phase timings), bit-identical for a given cell
+    /// list whatever `WP_JOBS`, the cache temperature, exec mode, or
+    /// `WP_OBS` were.
+    pub fn cells_json(&self) -> String {
+        format!("{{\"cells\":[{}]}}", self.cell_rows(false).join(","))
+    }
+
+    fn cell_rows(&self, with_phases: bool) -> Vec<String> {
+        self.cells
             .iter()
             .map(|c| {
-                format!(
-                    "{{\"scheme\":{},\"work\":{},\"summary\":{}}}",
+                let mut row = format!(
+                    "{{\"scheme\":{},\"work\":{},\"summary\":{}",
                     wp_sim::json_string(c.scheme.label()),
                     work_json(&c.work),
                     c.summary.to_json(),
-                )
+                );
+                if with_phases && !c.phases.is_empty() {
+                    row.push_str(&format!(",\"phases\":{}", c.phases.to_json()));
+                }
+                row.push('}');
+                row
             })
-            .collect();
-        format!("{{\"cells\":[{}]}}", cells.join(","))
+            .collect()
     }
 }
 

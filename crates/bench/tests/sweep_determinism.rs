@@ -64,10 +64,12 @@ fn parallel_sweep_is_bit_identical_to_serial_and_reuses_the_cache() {
     assert_eq!(parallel.cache_misses, 0, "warm cache re-captures nothing");
     assert_eq!(parallel.cache_hits, APPS.len());
     assert_eq!(
-        serial.to_json(),
-        parallel.to_json(),
+        serial.cells_json(),
+        parallel.cells_json(),
         "WP_JOBS=4 must emit bit-identical summaries"
     );
+    // The env block is *expected* to differ: it records what actually ran.
+    assert_ne!(serial.env_json(), parallel.env_json());
     for (p, before) in captures.iter().zip(&mtimes) {
         let after = p.metadata().expect("meta").modified().expect("mtime");
         assert_eq!(&after, before, "{} was rewritten", p.display());
@@ -106,7 +108,7 @@ fn batched_parallel_sweep_is_bit_identical_to_per_event_serial() {
             SchemeKind::SNucaLru,
             CellWork::mix(&["delaunay", "mcf"], 200_000, false),
         );
-        spec.run().expect("sweep").to_json()
+        spec.run().expect("sweep").cells_json()
     };
     let reference = grid_with(1, ExecMode::PerEvent);
     assert_eq!(

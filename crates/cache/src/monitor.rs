@@ -82,6 +82,7 @@ impl UtilityMonitor {
     /// saw no accesses — an idle VC keeps its last-known behaviour, like
     /// real GMONs between reconfigurations.
     pub fn rollover(&mut self, interval_instructions: u64) -> MissCurve {
+        wp_obs::add(wp_obs::Counter::MonitorRollovers, 1);
         let instructions = interval_instructions.max(1);
         let hist = self.stack.take_histogram();
         self.accesses = 0;

@@ -61,6 +61,14 @@ impl LlcScheme for WhirlpoolScheme {
     fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
         self.0.bank_occupancy()
     }
+
+    fn pool_occupancy(&self) -> Vec<wp_obs::PoolOcc> {
+        self.0.pool_occupancy()
+    }
+
+    fn reconfig_log(&self) -> Vec<wp_obs::ReconfigEvent> {
+        self.0.reconfig_log()
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,10 @@ pub struct NucaRuntime {
     /// `(cycle, per-VC (label, granules, bypassed))` at each
     /// reconfiguration — the allocation trace of Fig. 11a.
     history: Vec<(u64, VcAllocations)>,
+    /// The richer observability log: one event per reconfiguration with
+    /// old→new allocations and the curve signal that drove each sizing
+    /// decision (exported through [`LlcScheme::reconfig_log`]).
+    obs_log: Vec<wp_obs::ReconfigEvent>,
 }
 
 impl std::fmt::Debug for NucaRuntime {
@@ -116,6 +120,7 @@ impl NucaRuntime {
             bootstrapped: false,
             reconfigurations: 0,
             history: Vec::new(),
+            obs_log: Vec::new(),
             config,
             sys,
         };
@@ -149,6 +154,29 @@ impl NucaRuntime {
     /// `(cycle, per-VC (label, granules, bypassed))` — Fig. 11a's trace.
     pub fn reconfig_history(&self) -> &[(u64, VcAllocations)] {
         &self.history
+    }
+
+    /// Appends one [`wp_obs::ReconfigEvent`] for the reconfiguration that
+    /// just completed: `old` is the allocation table on entry, `apki` the
+    /// per-VC curve signal handed to the sizer.
+    fn log_reconfig(&mut self, now: u64, old: &VcAllocations, apki: &[f64]) {
+        let pools = self
+            .vcs
+            .iter()
+            .enumerate()
+            .map(|(i, vc)| wp_obs::PoolChange {
+                pool: vc.label(),
+                old_granules: old.get(i).map(|&(_, g, _)| g),
+                new_granules: vc.allocated_granules,
+                bypassed: vc.bypassed,
+                apki: apki.get(i).copied().unwrap_or(0.0),
+            })
+            .collect();
+        self.obs_log.push(wp_obs::ReconfigEvent {
+            cycle: now,
+            index: self.reconfigurations,
+            pools,
+        });
     }
 
     fn create_vc(&mut self, kind: VcKind, center: wp_noc::Coord) -> u32 {
@@ -345,6 +373,7 @@ impl LlcScheme for NucaRuntime {
 
     fn reconfigure(&mut self, uncore: &mut Uncore) {
         self.reconfigurations += 1;
+        let old_alloc = self.allocations();
         let plan = self.sys.floorplan.clone();
         let core_coords: Vec<wp_noc::Coord> = (0..plan.num_cores())
             .map(|c| plan.core_coord(CoreId(c as u16)))
@@ -407,6 +436,8 @@ impl LlcScheme for NucaRuntime {
             }
             if !any_changed {
                 self.history.push((uncore.now, self.allocations()));
+                let apki: Vec<f64> = inputs.iter().map(|i| i.apki).collect();
+                self.log_reconfig(uncore.now, &old_alloc, &apki);
                 return;
             }
             // Frozen sizes may momentarily exceed capacity together with
@@ -467,6 +498,8 @@ impl LlcScheme for NucaRuntime {
         }
         self.bootstrapped = true;
         self.history.push((uncore.now, self.allocations()));
+        let apki: Vec<f64> = inputs.iter().map(|i| i.apki).collect();
+        self.log_reconfig(uncore.now, &old_alloc, &apki);
     }
 
     fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
@@ -478,6 +511,25 @@ impl LlcScheme for NucaRuntime {
             }
         }
         out
+    }
+
+    fn pool_occupancy(&self) -> Vec<wp_obs::PoolOcc> {
+        self.vcs
+            .iter()
+            .map(|vc| wp_obs::PoolOcc {
+                pool: vc.label(),
+                granules: vc.allocated_granules,
+                bypassed: vc.bypassed,
+                accesses: vc.hits + vc.misses + vc.bypasses,
+                // Bypasses go to memory, so the timeline counts them as
+                // misses — same convention as the figures' MPKI.
+                misses: vc.misses + vc.bypasses,
+            })
+            .collect()
+    }
+
+    fn reconfig_log(&self) -> Vec<wp_obs::ReconfigEvent> {
+        self.obs_log.clone()
     }
 }
 
@@ -523,6 +575,14 @@ impl LlcScheme for JigsawScheme {
 
     fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
         self.0.bank_occupancy()
+    }
+
+    fn pool_occupancy(&self) -> Vec<wp_obs::PoolOcc> {
+        self.0.pool_occupancy()
+    }
+
+    fn reconfig_log(&self) -> Vec<wp_obs::ReconfigEvent> {
+        self.0.reconfig_log()
     }
 }
 

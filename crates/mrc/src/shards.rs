@@ -233,6 +233,7 @@ impl ShardsStack {
         let Some(&(h_max, _)) = self.tracked.peek() else {
             return;
         };
+        wp_obs::add(wp_obs::Counter::ShardsEvictions, 1);
         self.threshold = h_max;
         while let Some(&(h, line)) = self.tracked.peek() {
             if h < self.threshold {

@@ -1,0 +1,55 @@
+//! Minimal JSON emission helpers, matching the hand-rolled conventions
+//! used across the workspace (no serde offline): shortest-round-trip
+//! float formatting, `null` for non-finite values, minimal string
+//! escaping.
+
+/// Formats an `f64` as a JSON value. Rust's `{}` for floats is the
+/// shortest representation that round-trips, so string equality of two
+/// emissions implies bit-identical values. Non-finite values have no
+/// JSON spelling and become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a string for JSON (the labels emitted here are
+/// scheme/pool names: quotes, backslashes, and control characters are
+/// the only escapes they can need).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -178,6 +178,8 @@ pub fn schedule(app: &ParallelApp, cores: usize, policy: SchedPolicy, seed: u64)
         let bar = *time.iter().max().expect("cores > 0");
         time.fill(bar);
     }
+    wp_obs::add(wp_obs::Counter::PawsTasks, executions.len() as u64);
+    wp_obs::add(wp_obs::Counter::PawsSteals, steals);
     Schedule {
         executions,
         cores,

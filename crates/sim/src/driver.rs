@@ -43,6 +43,15 @@ pub enum ExecMode {
     Batched,
 }
 
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecMode::PerEvent => "per-event",
+            ExecMode::Batched => "batched",
+        })
+    }
+}
+
 impl std::str::FromStr for ExecMode {
     type Err = String;
 
@@ -74,15 +83,22 @@ pub struct SimConfig {
     pub capture_to: Option<PathBuf>,
     /// How events are moved from workloads into the scheme.
     pub exec: ExecMode,
+    /// Observability probes: with this set, the driver samples every
+    /// pool's occupancy and demand each
+    /// [`sample_every`](wp_obs::ObsConfig::sample_every) events (read
+    /// back via [`MultiCoreSim::take_timeline`]). Sampling is read-only —
+    /// results stay bit-identical with or without it.
+    pub obs: Option<wp_obs::ObsConfig>,
 }
 
 impl SimConfig {
-    /// A plain run of `system` with no capture.
+    /// A plain run of `system` with no capture and no probes.
     pub fn new(system: SystemConfig) -> Self {
         Self {
             system,
             capture_to: None,
             exec: ExecMode::default(),
+            obs: None,
         }
     }
 
@@ -97,6 +113,13 @@ impl SimConfig {
     #[must_use]
     pub fn exec_mode(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Enables the pool-occupancy timeline probe.
+    #[must_use]
+    pub fn observe(mut self, obs: wp_obs::ObsConfig) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -184,6 +207,16 @@ impl RunSummary {
     }
 }
 
+/// The pool-occupancy sampling probe (active only with
+/// [`SimConfig::observe`]).
+struct TimelineProbe {
+    /// Sample once per this many processed events.
+    sample_every: u64,
+    /// Event count at (or past) which the next sample fires.
+    next_at: u64,
+    samples: Vec<wp_obs::PoolSample>,
+}
+
 /// The multicore simulator: cores + uncore + one LLC scheme.
 pub struct MultiCoreSim<S: LlcScheme> {
     uncore: Uncore,
@@ -192,6 +225,7 @@ pub struct MultiCoreSim<S: LlcScheme> {
     last_reconfig: u64,
     capture: Option<Capture>,
     exec: ExecMode,
+    obs: Option<TimelineProbe>,
     /// Quantum scratch for the batched path, reused across quanta so the
     /// steady state allocates nothing.
     batch: EventBatch,
@@ -217,6 +251,7 @@ impl<S: LlcScheme> MultiCoreSim<S> {
             last_reconfig: 0,
             capture: None,
             exec: ExecMode::default(),
+            obs: None,
             batch: EventBatch::with_capacity(QUANTUM_EVENTS),
             responses: Vec::with_capacity(QUANTUM_EVENTS),
         }
@@ -227,6 +262,14 @@ impl<S: LlcScheme> MultiCoreSim<S> {
     pub fn with_config(config: SimConfig, scheme: S) -> Result<Self, TraceError> {
         let mut sim = Self::new(config.system, scheme);
         sim.exec = config.exec;
+        if let Some(obs) = &config.obs {
+            let every = obs.sample_every.max(1);
+            sim.obs = Some(TimelineProbe {
+                sample_every: every,
+                next_at: every,
+                samples: Vec::new(),
+            });
+        }
         if let Some(path) = &config.capture_to {
             let cores = sim.runners.len();
             sim.capture = Some(Capture {
@@ -328,6 +371,7 @@ impl<S: LlcScheme> MultiCoreSim<S> {
         target_instructions: u64,
     ) -> RunSummary {
         if warmup_instructions > 0 {
+            let _span = wp_obs::span(wp_obs::Phase::Warmup);
             self.run(warmup_instructions);
             for r in self.runners.iter_mut().flatten() {
                 if r.active {
@@ -337,6 +381,7 @@ impl<S: LlcScheme> MultiCoreSim<S> {
             }
             self.uncore.reset_energy();
         }
+        let _span = wp_obs::span(wp_obs::Phase::Measure);
         self.run(target_instructions)
     }
 
@@ -383,8 +428,66 @@ impl<S: LlcScheme> MultiCoreSim<S> {
                 }
             }
             self.maybe_reconfigure();
+            if self.obs.is_some() {
+                self.maybe_sample();
+            }
         }
         self.summary()
+    }
+
+    /// Takes a pool-occupancy sample when the processed-event count has
+    /// crossed the probe's next threshold. Pure observation: it reads
+    /// scheme state and per-core counters, mutating nothing the
+    /// simulation depends on.
+    fn maybe_sample(&mut self) {
+        let events: u64 = self
+            .runners
+            .iter()
+            .flatten()
+            .map(|r| r.stats.llc_accesses + r.stats.llc_bypasses)
+            .sum();
+        {
+            let probe = self.obs.as_ref().expect("probe checked by caller");
+            if events < probe.next_at {
+                return;
+            }
+        }
+        let cycle = self.global_cycle();
+        let probe = self.obs.as_mut().expect("probe exists");
+        // One sample per crossing, however many thresholds a quantum
+        // jumped (a quantum is 256 events; sample_every is usually much
+        // larger).
+        probe.next_at = events - (events % probe.sample_every) + probe.sample_every;
+        let occs = self.scheme.pool_occupancy();
+        wp_obs::add(wp_obs::Counter::PoolSamplesTaken, occs.len() as u64);
+        let probe = self.obs.as_mut().expect("probe exists");
+        for occ in occs {
+            probe.samples.push(wp_obs::PoolSample {
+                cycle,
+                event: events,
+                occ,
+            });
+        }
+    }
+
+    /// Global time: the laggard's clock (monotone, never outruns work).
+    fn global_cycle(&self) -> u64 {
+        self.runners
+            .iter()
+            .flatten()
+            .filter(|r| r.active && r.counted.is_none())
+            .map(|r| r.stats.cycles as u64)
+            .min()
+            .unwrap_or(self.uncore.now)
+    }
+
+    /// Drains the pool-occupancy timeline collected so far (empty unless
+    /// the simulator was built with [`SimConfig::observe`]).
+    pub fn take_timeline(&mut self) -> Vec<wp_obs::PoolSample> {
+        self.obs
+            .as_mut()
+            .map(|p| std::mem::take(&mut p.samples))
+            .unwrap_or_default()
     }
 
     fn step_core(&mut self, core_idx: usize, target: u64) {
@@ -519,19 +622,12 @@ impl<S: LlcScheme> MultiCoreSim<S> {
 
     fn maybe_reconfigure(&mut self) {
         let interval = self.uncore.config().reconfig_interval_cycles;
-        // Global time: the laggard's clock (monotone, never outruns work).
-        let global = self
-            .runners
-            .iter()
-            .flatten()
-            .filter(|r| r.active && r.counted.is_none())
-            .map(|r| r.stats.cycles as u64)
-            .min()
-            .unwrap_or(self.uncore.now);
+        let global = self.global_cycle();
         if global >= self.last_reconfig + interval {
             self.last_reconfig = global;
             self.uncore.now = self.uncore.now.max(global);
             self.scheme.reconfigure(&mut self.uncore);
+            wp_obs::add(wp_obs::Counter::Reconfigurations, 1);
             for n in &mut self.uncore.interval_instructions {
                 *n = 0;
             }

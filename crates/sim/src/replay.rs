@@ -88,7 +88,12 @@ impl TraceWorkload {
 
     /// Decodes chunks until the next one belonging to our stream sits in
     /// `self.chunk`; false at end of trace.
+    ///
+    /// Counted as [`wp_obs::Phase::Decode`] time — under prefetch this is
+    /// the *wait* for the decode thread, which is exactly the share of
+    /// decode cost the simulating thread could not hide.
     fn refill(&mut self) -> bool {
+        let _span = wp_obs::span(wp_obs::Phase::Decode);
         let batched = match &mut self.batched {
             Some(b) => b,
             None => {
@@ -153,6 +158,7 @@ impl Workload for TraceWorkload {
             self.chunk_pos += take;
             filled += take;
         }
+        wp_obs::observe(wp_obs::HistKind::BatchFill, filled as u64);
         filled
     }
 }

@@ -235,6 +235,21 @@ pub trait LlcScheme: Send {
     fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
         Vec::new()
     }
+
+    /// Optional: a read-only snapshot of every pool/VC's current
+    /// allocation and cumulative demand, for the driver's occupancy
+    /// timeline probe ([`SimConfig::observe`](crate::SimConfig::observe)).
+    /// Pool-less schemes report nothing.
+    fn pool_occupancy(&self) -> Vec<wp_obs::PoolOcc> {
+        Vec::new()
+    }
+
+    /// Optional: the log of runtime reallocations performed so far —
+    /// one [`wp_obs::ReconfigEvent`] per [`reconfigure`](Self::reconfigure)
+    /// for dynamic schemes, empty for static ones.
+    fn reconfig_log(&self) -> Vec<wp_obs::ReconfigEvent> {
+        Vec::new()
+    }
 }
 
 impl LlcScheme for Box<dyn LlcScheme> {
@@ -269,6 +284,14 @@ impl LlcScheme for Box<dyn LlcScheme> {
 
     fn bank_occupancy(&self) -> Vec<(usize, String, f64)> {
         self.as_ref().bank_occupancy()
+    }
+
+    fn pool_occupancy(&self) -> Vec<wp_obs::PoolOcc> {
+        self.as_ref().pool_occupancy()
+    }
+
+    fn reconfig_log(&self) -> Vec<wp_obs::ReconfigEvent> {
+        self.as_ref().reconfig_log()
     }
 }
 

@@ -340,6 +340,7 @@ impl BatchReader {
                         if let Some(state) = self.streams.get_mut(stream as usize) {
                             state.skipped = true;
                         }
+                        wp_obs::add(wp_obs::Counter::FollowChunksSkipped, 1);
                         continue;
                     }
                 }
@@ -380,6 +381,8 @@ impl BatchReader {
                     state.events += batch.len() as u64;
                     state.instrs += instrs;
                     self.chunks += 1;
+                    wp_obs::add(wp_obs::Counter::TraceChunksDecoded, 1);
+                    wp_obs::add(wp_obs::Counter::TraceBytesDecoded, payload.len() as u64);
                     return Ok(Some(stream as u16));
                 }
                 TAG_END => {
@@ -440,12 +443,15 @@ type PrefetchMsg = Result<Option<(u16, EventBatch)>, TraceError>;
 ///
 /// Batches travel through a bounded channel and are recycled back to the
 /// decoder, so the pipeline owns a fixed set of slabs regardless of trace
-/// length. The thread exits when the trace ends, an error is delivered, or
-/// the handle is dropped.
+/// length. The thread (named `wp-prefetch`) exits when the trace ends, an
+/// error is delivered, or the handle is dropped. If it *panics*, the next
+/// [`next_chunk`](Self::next_chunk) joins it and surfaces the panic
+/// payload as a [`TraceError`] instead of a silent end-of-stream.
 #[derive(Debug)]
 pub struct PrefetchBatches {
     rx: Receiver<PrefetchMsg>,
     recycle: SyncSender<EventBatch>,
+    handle: Option<std::thread::JoinHandle<()>>,
     done: bool,
 }
 
@@ -472,8 +478,8 @@ impl PrefetchBatches {
                 .send(EventBatch::new())
                 .expect("fresh channel has capacity");
         }
-        std::thread::Builder::new()
-            .name("wpt-prefetch".into())
+        let handle = std::thread::Builder::new()
+            .name("wp-prefetch".into())
             .spawn(move || loop {
                 // Slab starvation means the consumer went away; so does a
                 // failed send. Either way the thread just leaves.
@@ -495,9 +501,11 @@ impl PrefetchBatches {
                 }
             })
             .map_err(TraceError::Io)?;
+        wp_obs::add(wp_obs::Counter::ThreadsSpawned, 1);
         Ok(Self {
             rx,
             recycle,
+            handle: Some(handle),
             done: false,
         })
     }
@@ -510,7 +518,17 @@ impl PrefetchBatches {
             batch.clear();
             return Ok(None);
         }
-        match self.rx.recv() {
+        // An empty channel means the consumer outran the decoder and the
+        // recv below will block: that is a pipeline stall worth counting.
+        let msg = match self.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(std::sync::mpsc::TryRecvError::Empty) => {
+                wp_obs::add(wp_obs::Counter::PrefetchStalls, 1);
+                self.rx.recv()
+            }
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(std::sync::mpsc::RecvError),
+        };
+        match msg {
             Ok(Ok(Some((stream, mut filled)))) => {
                 std::mem::swap(batch, &mut filled);
                 // Hand the consumer's old slab back to the decoder. The
@@ -529,12 +547,29 @@ impl PrefetchBatches {
                 Err(e)
             }
             // The thread only exits after sending a terminal message, so a
-            // closed channel here means it panicked.
+            // closed channel here means it panicked. Join it to recover
+            // the payload instead of reporting a generic death.
             Err(_) => {
                 self.done = true;
-                Err(TraceError::Corrupt("prefetch decode thread died".into()))
+                Err(self.thread_died())
             }
         }
+    }
+
+    fn thread_died(&mut self) -> TraceError {
+        let msg = match self.handle.take().map(std::thread::JoinHandle::join) {
+            Some(Err(payload)) => {
+                wp_obs::add(wp_obs::Counter::PrefetchPanics, 1);
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                format!("prefetch thread panicked: {what}")
+            }
+            _ => "prefetch decode thread died".into(),
+        };
+        TraceError::Corrupt(msg)
     }
 }
 

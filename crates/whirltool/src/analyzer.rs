@@ -119,6 +119,7 @@ impl ClusterTree {
 /// from the merged pool's per-interval *combined* curves. `O(n²)` pair
 /// maintenance, "acceptable (a few seconds) for 10s–100s of callpoints".
 pub fn cluster(data: &ProfileData, upto_granules: usize) -> ClusterTree {
+    let _span = wp_obs::span(wp_obs::Phase::Classify);
     let n = data.callpoints.len();
     // Per-cluster, per-interval curves (None = inactive interval).
     let mut curves: Vec<Option<Vec<Option<MissCurve>>>> = data

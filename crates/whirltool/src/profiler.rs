@@ -91,6 +91,7 @@ pub fn profile(
     page_to_callpoint: &HashMap<PageId, CallpointId>,
     cfg: ProfilerConfig,
 ) -> ProfileData {
+    let _span = wp_obs::span(wp_obs::Phase::Profile);
     const UNKNOWN: CallpointId = CallpointId(0);
     let mut stacks: HashMap<CallpointId, ShardsStack> = HashMap::new();
     let mut order: Vec<CallpointId> = Vec::new();

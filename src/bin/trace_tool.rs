@@ -14,6 +14,9 @@
 //!                           [--verify-exact] [--max-err E] [--capacity-slack S]
 //! trace_tool bench-check --baseline <BENCH_*.json>... --fresh-dir <dir>
 //!                        [--max-regress R]
+//! trace_tool obs <app|file> [--scheme S] [--classification C]
+//!                           [--warmup N] [--measure N] [--sixteen-core]
+//!                           [--sample-every N] [--obs-out <file>]
 //! ```
 //!
 //! `record` runs one registry app — or, with several apps, a whole
@@ -34,6 +37,14 @@
 //! one file scan. `--verify-exact` profiles both ways and exits non-zero
 //! if the sampled miss ratio strays more than `--max-err` (default 0.02)
 //! from exact at any capacity, which is the contract CI enforces.
+//!
+//! `obs` runs one experiment — a registry app live, or a `.wpt` recording
+//! if the positional names an existing file — with the observability
+//! probes attached, and emits the JSONL timeline (pool-occupancy samples,
+//! reconfiguration log, registry snapshot): to stdout by default, or to
+//! `--obs-out <file>` (then the `RunSummary` JSON goes to stdout, as for
+//! `replay`). Probes read scheme state without mutating it, so the
+//! summary is bit-identical to the same run without `obs`.
 //!
 //! `bench-check` is CI's perf-regression gate: it pairs each committed
 //! `BENCH_*.json` baseline with the same-named fresh report in
@@ -68,6 +79,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("bench-check") => cmd_bench_check(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -107,6 +119,12 @@ usage:
                     (compare each committed baseline's \"gate\" metrics against
                      the same-named fresh report in <dir>; exits non-zero if any
                      metric fell more than R, default 0.25, below baseline)
+  trace_tool obs <app|file> [--scheme S] [--classification none|manual|auto]
+                    [--warmup N] [--measure N] [--sixteen-core]
+                    [--sample-every N] [--obs-out <file>]
+                    (run with observability probes attached and emit the JSONL
+                     timeline: pool occupancy, reconfigurations, registry
+                     snapshot; stdout unless --obs-out)
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
          Whirlpool, Whirlpool-NoBypass
@@ -776,6 +794,73 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
         let exp = apply_common(exp, &args)?;
         let summary = exp.run().map_err(|e| e.to_string())?;
         println!("{}", summary.to_json());
+    }
+    Ok(())
+}
+
+/// `obs <app|file>`: one run with the observability probes attached,
+/// JSONL timeline out. An existing file replays the recording; any other
+/// positional runs the registry app live.
+fn cmd_obs(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        rest,
+        &[
+            "--scheme",
+            "--classification",
+            "--warmup",
+            "--measure",
+            "--sample-every",
+            "--obs-out",
+        ],
+        &["--sixteen-core"],
+    )?;
+    let [target] = args.positional[..] else {
+        return Err("obs takes exactly one app name or trace file".into());
+    };
+    let kind = args
+        .value("--scheme")
+        .map_or(Ok(SchemeKind::Whirlpool), parse_scheme)?;
+    let classification = match args.value("--classification") {
+        None => kind.default_classification(),
+        Some("none") => Classification::None,
+        Some("manual") => Classification::Manual,
+        Some("auto") => Classification::WhirlTool {
+            pools: 3,
+            train: true,
+        },
+        Some(other) => return Err(format!("unknown classification '{other}'")),
+    };
+    let mut obs = match args.number("--sample-every")? {
+        Some(n) => wp_obs::ObsConfig::every(n),
+        None => wp_obs::ObsConfig::default(),
+    };
+    let out = args.value("--obs-out").map(PathBuf::from);
+    if let Some(path) = &out {
+        obs = obs.out(path);
+    }
+    let path = Path::new(target);
+    let exp = if path.exists() {
+        // Replays restore the recorded pools unless told otherwise, same
+        // as `replay` without `--no-pools`.
+        Experiment::replay(kind, path)
+    } else {
+        whirlpool_repro::harness::resolve_app(target).map_err(|e| e.to_string())?;
+        Experiment::single(kind, target)
+    };
+    let exp = apply_common(exp.classification(classification).observe(obs), &args)?;
+    let run = exp.run_full().map_err(|e| e.to_string())?;
+    let report = run.obs.as_ref().expect("observe() attaches a report");
+    match out {
+        Some(path) => {
+            println!("{}", run.summary.to_json());
+            eprintln!(
+                "wrote {} ({} pool samples, {} reconfigurations)",
+                path.display(),
+                report.timeline.len(),
+                report.reconfigs.len(),
+            );
+        }
+        None => print!("{}", report.to_jsonl(&run.summary.scheme)),
     }
     Ok(())
 }

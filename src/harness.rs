@@ -585,13 +585,60 @@ impl Placement {
 }
 
 /// Result of an [`Experiment`]: the run summary plus, for
-/// [`Placement::Parallel`], the task schedule that produced it.
+/// [`Placement::Parallel`], the task schedule that produced it and, when
+/// [`Experiment::observe`] was set, the run's observability report.
 #[derive(Debug, Clone)]
 pub struct ExperimentRun {
     /// The simulation summary.
     pub summary: RunSummary,
     /// The task schedule (parallel placements only).
     pub schedule: Option<Schedule>,
+    /// The observability report ([`Experiment::observe`] runs only).
+    pub obs: Option<ObsReport>,
+}
+
+/// The time-series artifacts of one observed run: the driver's pool
+/// occupancy timeline and the scheme's reconfiguration log. Collected by
+/// reading scheme state — never by mutating it — so an observed run's
+/// [`RunSummary`] is bit-identical to an unobserved one.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Per-pool occupancy samples, one group every
+    /// [`sample_every`](wp_obs::ObsConfig::sample_every) events.
+    pub timeline: Vec<wp_obs::PoolSample>,
+    /// One entry per runtime reallocation the scheme performed.
+    pub reconfigs: Vec<wp_obs::ReconfigEvent>,
+}
+
+impl ObsReport {
+    /// The report as JSONL: `pool_sample` and `reconfig` lines merged in
+    /// cycle order, closed by one `metrics` line carrying the scheme name
+    /// and the metrics-registry snapshot (all zeros unless `WP_OBS=1` /
+    /// [`wp_obs::enable`]).
+    pub fn to_jsonl(&self, scheme: &str) -> String {
+        let mut lines: Vec<(u64, String)> = self
+            .timeline
+            .iter()
+            .map(|s| (s.cycle, s.to_json_line()))
+            .collect();
+        for ev in &self.reconfigs {
+            for line in ev.to_json_lines() {
+                lines.push((ev.cycle, line));
+            }
+        }
+        lines.sort_by_key(|(cycle, _)| *cycle);
+        let mut out = String::new();
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"metrics\",\"scheme\":{},\"registry\":{}}}\n",
+            wp_obs::quote(scheme),
+            wp_obs::snapshot().to_json(),
+        ));
+        out
+    }
 }
 
 /// A fully specified experiment: the one entry point the figure binaries,
@@ -644,6 +691,7 @@ pub struct Experiment {
     seed: Option<u64>,
     capture_to: Option<PathBuf>,
     exec: Option<ExecMode>,
+    obs: Option<wp_obs::ObsConfig>,
 }
 
 impl Experiment {
@@ -658,6 +706,7 @@ impl Experiment {
             seed: None,
             capture_to: None,
             exec: None,
+            obs: None,
         }
     }
 
@@ -803,6 +852,18 @@ impl Experiment {
         self
     }
 
+    /// Turns on the run's observability probes: the driver samples every
+    /// pool's occupancy per [`wp_obs::ObsConfig::sample_every`] events and
+    /// the scheme's reconfiguration log is collected, both surfaced as
+    /// [`ExperimentRun::obs`] (and written as JSONL when the config names
+    /// an output path). Probes read scheme state without mutating it, so
+    /// the [`RunSummary`] stays bit-identical to an unobserved run.
+    #[must_use]
+    pub fn observe(mut self, obs: wp_obs::ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Overrides the event delivery path (default: `WP_EXEC` if set and
     /// parseable — `per-event` or `batched` — else [`ExecMode::default`]).
     /// Both modes produce bit-identical [`RunSummary`]s; this knob exists
@@ -888,7 +949,12 @@ impl Experiment {
         let cores = sys.floorplan.num_cores();
         let mut sched = None;
 
-        // Build the per-core attachments.
+        // Build the per-core attachments. This is where trace scans,
+        // capture replays, and (for WhirlTool classifications) profiling
+        // happen, so it is the Capture phase of the run's timing
+        // breakdown (Profile/Classify nest inside it and also count
+        // toward their own phases).
+        let _capture = wp_obs::span(wp_obs::Phase::Capture);
         let attachments: Vec<(CoreId, WorkloadBundle)> = match self.placement {
             Placement::Single(app) => {
                 vec![(CoreId(0), app_bundle(&app, classification)?)]
@@ -969,10 +1035,16 @@ impl Experiment {
             }
         };
 
+        drop(_capture);
+
         // One uniform launch path: capture, attach, run, finalize.
         let mut cfg = wp_sim::SimConfig::new(sys);
         if let Some(path) = self.capture_to {
             cfg = cfg.capture_to(path);
+        }
+        let obs_cfg = self.obs;
+        if let Some(o) = obs_cfg.clone() {
+            cfg = cfg.observe(o);
         }
         let exec = self.exec.or_else(default_exec_mode);
         if let Some(exec) = exec {
@@ -984,12 +1056,44 @@ impl Experiment {
         }
         let summary = sim.run_with_warmup(warmup, measure);
         sim.finish_capture()?;
+        let timeline = if obs_cfg.is_some() {
+            sim.take_timeline()
+        } else {
+            Vec::new()
+        };
+        let scheme = sim.into_scheme();
+        let accesses: u64 = summary
+            .cores
+            .iter()
+            .map(|c| c.llc_accesses + c.llc_bypasses)
+            .sum();
+        let misses: u64 = summary
+            .cores
+            .iter()
+            .map(|c| c.llc_misses + c.llc_bypasses)
+            .sum();
+        wp_obs::record_scheme(&summary.scheme, accesses, misses);
+        let obs = match obs_cfg {
+            Some(o) => {
+                let report = ObsReport {
+                    timeline,
+                    reconfigs: scheme.reconfig_log(),
+                };
+                if let Some(path) = &o.out {
+                    std::fs::write(path, report.to_jsonl(&summary.scheme))
+                        .map_err(|e| HarnessError::Trace(TraceError::Io(e)))?;
+                }
+                Some(report)
+            }
+            None => None,
+        };
         Ok((
             ExperimentRun {
                 summary,
                 schedule: sched,
+                obs,
             },
-            sim.into_scheme(),
+            scheme,
         ))
     }
 }
