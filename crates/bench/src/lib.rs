@@ -20,6 +20,7 @@
 //!   Mattson — the Fig. 16/21 opt-in for long traces (default: exact).
 #![forbid(unsafe_code)]
 
+pub mod store;
 pub mod sweep;
 
 use whirlpool_repro::harness::{run_budget, Classification, SchemeKind};

@@ -1,0 +1,109 @@
+//! Trace-capture stores: where sweep captures live and how warm lookups
+//! happen.
+//!
+//! The sweep engine captures each registry app once into a key-addressed
+//! `.wpt` file and replays it for every cell. Batch runs and the resident
+//! `wp-serve` daemon want different lookup behaviour — a batch sweep
+//! stats the cache directory, a daemon keeps an in-memory warm index it
+//! updates as captures land — so the lookup policy lives behind
+//! [`TraceStore`] and the engine is agnostic to which one it runs over.
+//!
+//! Both modes share the atomic-write discipline: a capture is written to
+//! `<key>.wpt.tmp.<pid>-<seq>` and renamed into place only once complete,
+//! so a killed process (or a cancelled daemon job) can never leave a
+//! truncated `.wpt` that poisons later warm replays. Lookups match the
+//! exact `<key>.wpt` name, so in-flight temp files are invisible to them
+//! by construction.
+
+use std::path::{Path, PathBuf};
+
+/// Where sweep captures live and what counts as warm.
+///
+/// A *key* is the capture's identity — app name plus the budgets that
+/// shaped its stream (`<app>-w<warmup>-m<measure>`, see
+/// [`capture_key`]) — and maps to exactly one `.wpt` file under
+/// [`dir`](Self::dir). Implementations decide how existence is checked;
+/// the engine guarantees it only ever declares a key warm after the
+/// completed file has been atomically renamed into place.
+pub trait TraceStore: Send + Sync + std::fmt::Debug {
+    /// The directory completed captures live in.
+    fn dir(&self) -> &Path;
+
+    /// The path `key`'s completed capture lives at (`<dir>/<key>.wpt`),
+    /// whether or not it exists yet.
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir().join(format!("{key}.wpt"))
+    }
+
+    /// Whether `key` has a *completed* capture. In-flight temp files
+    /// (`<key>.wpt.tmp.<pid>-<seq>`) never count: only the atomic rename
+    /// that finishes a capture makes a key warm.
+    fn contains(&self, key: &str) -> bool;
+
+    /// Notes that `key`'s capture just completed (fully written and
+    /// renamed to [`path`](Self::path)). Stateless stores ignore this;
+    /// resident stores update their warm index.
+    fn note_captured(&self, key: &str);
+}
+
+/// The capture key for `(app, warmup, measure)`: the budgets are the
+/// invalidation key — changing `RUN_SCALE` changes the measurement
+/// budget and therefore the file name, so stale captures are never
+/// replayed.
+pub fn capture_key(app: &str, warmup: u64, measure: u64) -> String {
+    format!("{app}-w{warmup}-m{measure}")
+}
+
+/// The stateless directory-backed store batch sweeps use: a key is warm
+/// iff its `.wpt` exists on disk right now. Every lookup is a `stat`,
+/// which is exactly right for a short-lived process that shares the
+/// cache directory with concurrent sweeps.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// A store over `dir` (created lazily by the first capture).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+}
+
+impl TraceStore for DirStore {
+    fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.path(key).exists()
+    }
+
+    fn note_captured(&self, _key: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_key_folds_budgets() {
+        assert_eq!(capture_key("mcf", 100, 200), "mcf-w100-m200");
+        assert_ne!(capture_key("mcf", 100, 200), capture_key("mcf", 100, 300));
+    }
+
+    #[test]
+    fn dir_store_ignores_temp_files() {
+        let dir = std::env::temp_dir().join(format!("wp-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = DirStore::new(&dir);
+        let key = "app-w1-m2";
+        // A partial in-flight capture must not read as warm.
+        std::fs::write(dir.join(format!("{key}.wpt.tmp.999-0")), b"partial").unwrap();
+        assert!(!store.contains(key));
+        // The completed (renamed) file does.
+        std::fs::write(store.path(key), b"done").unwrap();
+        assert!(store.contains(key));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,16 +39,17 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use whirlpool_repro::harness::{
-    descriptors_for, run_budget, Classification, Experiment, HarnessError, SchemeKind,
+    descriptors_for, run_budget, CancelToken, Classification, Experiment, HarnessError, SchemeKind,
 };
 use wp_sim::{ExecMode, RunSummary, TraceWorkload, WorkloadBundle};
 use wp_workloads::{registry, AppModel};
 
 use crate::measure_budget;
+use crate::store::{capture_key, DirStore, TraceStore};
 
 /// Whether the opt-in `WP_PROGRESS=1` stderr heartbeat is on. Off by
 /// default: a sweep then writes nothing per cell, and stdout (the JSON
@@ -144,6 +145,8 @@ pub struct SweepSpec {
     warmup_override: Option<u64>,
     measure_override: Option<u64>,
     exec: Option<ExecMode>,
+    store: Option<Arc<dyn TraceStore>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for SweepSpec {
@@ -162,6 +165,8 @@ impl SweepSpec {
             warmup_override: None,
             measure_override: None,
             exec: None,
+            store: None,
+            cancel: None,
         }
     }
 
@@ -195,9 +200,32 @@ impl SweepSpec {
     }
 
     /// Overrides the trace-cache directory (`WP_TRACE_CACHE` otherwise).
+    /// Ignored when a full [`store`](Self::store) is attached.
     #[must_use]
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = dir.into();
+        self
+    }
+
+    /// Attaches a [`TraceStore`] that owns warm-capture lookups (the
+    /// default is a fresh [`DirStore`] over
+    /// [`cache_dir`](Self::cache_dir)). The resident `wp-serve` daemon
+    /// hands every sweep its long-lived store so lookups hit the warm
+    /// in-memory index instead of the filesystem.
+    #[must_use]
+    pub fn store(mut self, store: Arc<dyn TraceStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`], checked before each
+    /// capture and each cell (and inside each cell's [`Experiment`]).
+    /// A fired token aborts the sweep with [`HarnessError::Cancelled`];
+    /// in-flight cells finish normally first, so shared state (the trace
+    /// cache, the obs registry) is never left mid-write.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -238,13 +266,13 @@ impl SweepSpec {
         (warmup, measure)
     }
 
-    /// Cache file for one (app, budgets) capture. The budgets are the
-    /// invalidation key: changing `RUN_SCALE` changes the measurement
-    /// budget and therefore the file name, so stale captures are never
-    /// replayed.
-    fn cache_path(&self, app: &str, warmup: u64, measure: u64) -> PathBuf {
-        self.cache_dir
-            .join(format!("{app}-w{warmup}-m{measure}.wpt"))
+    /// The [`TraceStore`] this sweep will run over: the attached one, or
+    /// a fresh [`DirStore`] over the cache directory.
+    fn resolve_store(&self) -> Arc<dyn TraceStore> {
+        match &self.store {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(DirStore::new(self.cache_dir.clone())),
+        }
     }
 
     /// Runs the sweep: captures missing traces (in parallel), then fans
@@ -269,36 +297,50 @@ impl SweepSpec {
                 }
             }
         }
-        // Plan the captures: each registry app once per distinct budget.
-        let mut captures: Vec<(String, u64, u64, PathBuf)> = Vec::new();
+        // Plan the captures: each registry app once per distinct budget,
+        // with the store deciding which keys are already warm.
+        let store = self.resolve_store();
+        let mut captures: Vec<(String, u64, u64, String)> = Vec::new();
         for cell in &self.cells {
             if let CellWork::Single { app, .. } = &cell.work {
                 if registry::trace_path(app).is_none() {
                     let (w, m) = self.budgets_for(app);
-                    let path = self.cache_path(app, w, m);
-                    if !captures.iter().any(|(_, _, _, p)| *p == path) {
-                        captures.push((app.clone(), w, m, path));
+                    let key = capture_key(app, w, m);
+                    if !captures.iter().any(|(_, _, _, k)| *k == key) {
+                        captures.push((app.clone(), w, m, key));
                     }
                 }
             }
         }
-        let (missing, warm): (Vec<_>, Vec<_>) =
-            captures.into_iter().partition(|(_, _, _, p)| !p.exists());
+        let (missing, warm): (Vec<_>, Vec<_>) = captures
+            .into_iter()
+            .partition(|(_, _, _, k)| !store.contains(k));
         let cache_hits = warm.len();
         let cache_misses = missing.len();
         wp_obs::add(wp_obs::Counter::TraceCacheHits, cache_hits as u64);
         wp_obs::add(wp_obs::Counter::TraceCacheMisses, cache_misses as u64);
         if !missing.is_empty() {
-            std::fs::create_dir_all(&self.cache_dir).map_err(wp_trace::TraceError::from)?;
+            std::fs::create_dir_all(store.dir()).map_err(wp_trace::TraceError::from)?;
             eprintln!(
                 "[sweep] capturing {} app(s) into {} ({} warm)",
                 missing.len(),
-                self.cache_dir.display(),
+                store.dir().display(),
                 cache_hits,
             );
             parallel_map(self.jobs, missing.len(), |i| {
-                let (app, warmup, measure, path) = &missing[i];
-                capture_app(app, *warmup, *measure, path)
+                if let Some(tok) = &self.cancel {
+                    tok.check()?;
+                }
+                let (app, warmup, measure, key) = &missing[i];
+                capture_app(
+                    app,
+                    *warmup,
+                    *measure,
+                    &store.path(key),
+                    self.cancel.as_ref(),
+                )?;
+                store.note_captured(key);
+                Ok(())
             })?;
         }
         // Fan the cells out.
@@ -307,13 +349,16 @@ impl SweepSpec {
         let progress = progress_enabled();
         let sweep_start = Instant::now();
         let summaries = parallel_map(self.jobs, total, |i| {
+            if let Some(tok) = &self.cancel {
+                tok.check()?;
+            }
             let cell = &self.cells[i];
             // A worker runs one cell at a time, so the thread-local phase
             // delta across the cell is the cell's breakdown; drain any
             // residue a previous cell (or capture) left on this thread.
             let _ = wp_obs::take_thread_phases();
             let cell_start = Instant::now();
-            let summary = self.run_cell(cell)?;
+            let summary = self.run_cell(cell, &store)?;
             let phases = wp_obs::take_thread_phases();
             wp_obs::add(wp_obs::Counter::SweepCellsCompleted, 1);
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -366,15 +411,22 @@ impl SweepSpec {
             .unwrap_or_default()
     }
 
-    /// Applies the sweep-wide exec-mode override, if any.
-    fn apply_exec(&self, exp: Experiment) -> Experiment {
-        match self.exec {
-            Some(mode) => exp.exec_mode(mode),
-            None => exp,
+    /// Applies the sweep-wide engine overrides (exec mode, cancel token).
+    fn apply_exec(&self, mut exp: Experiment) -> Experiment {
+        if let Some(mode) = self.exec {
+            exp = exp.exec_mode(mode);
         }
+        if let Some(tok) = &self.cancel {
+            exp = exp.cancel_token(tok.clone());
+        }
+        exp
     }
 
-    fn run_cell(&self, cell: &SweepCell) -> Result<RunSummary, HarnessError> {
+    fn run_cell(
+        &self,
+        cell: &SweepCell,
+        store: &Arc<dyn TraceStore>,
+    ) -> Result<RunSummary, HarnessError> {
         match &cell.work {
             CellWork::Single {
                 app,
@@ -401,7 +453,7 @@ impl SweepSpec {
                 let model = AppModel::new(registry::spec(app));
                 let pools = descriptors_for(&model, app, *classification);
                 let bundle = WorkloadBundle {
-                    trace: Box::new(TraceWorkload::open(&self.cache_path(app, w, m))?),
+                    trace: Box::new(TraceWorkload::open(&store.path(&capture_key(app, w, m)))?),
                     pools,
                     name: app.clone(),
                 };
@@ -431,28 +483,42 @@ impl SweepSpec {
 /// Captures `app` once under the cheapest scheme. The driver pulls
 /// events purely by instruction count, so the recorded stream is
 /// identical whichever scheme (or classification) the capture ran under —
-/// one capture serves every cell. The write goes through a temp file and
-/// an atomic rename so concurrent sweeps never replay a half-written
-/// capture.
-fn capture_app(app: &str, warmup: u64, measure: u64, path: &Path) -> Result<(), HarnessError> {
+/// one capture serves every cell. The write goes to
+/// `<key>.wpt.tmp.<pid>-<seq>` and is renamed into place only when
+/// complete, so a killed process (or a cancelled job) never leaves a
+/// truncated `.wpt`: warm lookups match the exact `.wpt` name and are
+/// blind to temp files by construction.
+fn capture_app(
+    app: &str,
+    warmup: u64,
+    measure: u64,
+    path: &Path,
+    cancel: Option<&CancelToken>,
+) -> Result<(), HarnessError> {
     // Unique per process *and* per capture: concurrent sweeps in one
     // process (tests sharing a cache dir) must never write the same
     // temp file.
     static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
-    let tmp = path.with_extension(format!(
-        "tmp{}-{}",
+    let file = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("capture paths are <key>.wpt");
+    let tmp = path.with_file_name(format!(
+        "{file}.tmp.{}-{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let result = Experiment::single(SchemeKind::SNucaLru, app)
+    let mut exp = Experiment::single(SchemeKind::SNucaLru, app)
         .classification(Classification::None)
         .warmup(warmup)
         .measure(measure)
-        .capture_to(&tmp)
-        .run()
-        .and_then(|_| {
-            std::fs::rename(&tmp, path).map_err(|e| wp_trace::TraceError::from(e).into())
-        });
+        .capture_to(&tmp);
+    if let Some(tok) = cancel {
+        exp = exp.cancel_token(tok.clone());
+    }
+    let result = exp.run().and_then(|_| {
+        std::fs::rename(&tmp, path).map_err(|e| wp_trace::TraceError::from(e).into())
+    });
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
@@ -669,13 +735,31 @@ mod tests {
 
     #[test]
     fn cache_path_keys_on_app_and_budgets() {
-        let spec = SweepSpec::new().cache_dir("/tmp/c");
-        let a = spec.cache_path("delaunay", 100, 200);
-        let b = spec.cache_path("delaunay", 100, 300);
-        let c = spec.cache_path("mcf", 100, 200);
+        let store = SweepSpec::new().cache_dir("/tmp/c").resolve_store();
+        let a = store.path(&capture_key("delaunay", 100, 200));
+        let b = store.path(&capture_key("delaunay", 100, 300));
+        let c = store.path(&capture_key("mcf", 100, 200));
         assert_ne!(a, b, "measure budget is part of the key");
         assert_ne!(a, c, "app name is part of the key");
-        assert_eq!(a, spec.cache_path("delaunay", 100, 200), "key is stable");
+        assert_eq!(
+            a,
+            store.path(&capture_key("delaunay", 100, 200)),
+            "key is stable"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_any_cell() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let mut spec = SweepSpec::new()
+            .cache_dir(std::env::temp_dir().join("wp-sweep-cancel"))
+            .cancel_token(tok);
+        spec.push(
+            SchemeKind::SNucaLru,
+            CellWork::single("delaunay", Classification::None),
+        );
+        assert!(matches!(spec.run(), Err(HarnessError::Cancelled)));
     }
 
     #[test]

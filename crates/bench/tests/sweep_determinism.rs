@@ -120,6 +120,41 @@ fn batched_parallel_sweep_is_bit_identical_to_per_event_serial() {
     std::fs::remove_dir_all(&cache).unwrap();
 }
 
+/// A partial temp file from a killed capture (`<key>.wpt.tmp.<pid>-<seq>`)
+/// is ignored by warm lookup and the app is re-captured into a complete
+/// `.wpt` — the atomic-rename discipline means truncation can never
+/// poison later replays.
+#[test]
+fn partial_temp_capture_is_ignored_and_recaptured() {
+    use wp_bench::store::{capture_key, DirStore, TraceStore};
+    let cache = tmp_cache("partial");
+    let _ = std::fs::remove_dir_all(&cache);
+    std::fs::create_dir_all(&cache).expect("cache dir");
+
+    // Simulate a capture killed mid-write: a temp file with the capture's
+    // key but a stale pid/seq suffix, containing garbage.
+    let key = capture_key("delaunay", WARMUP, MEASURE);
+    let partial = cache.join(format!("{key}.wpt.tmp.99999-0"));
+    std::fs::write(&partial, b"truncated garbage, not a wpt header").expect("partial");
+    let store = DirStore::new(&cache);
+    assert!(!store.contains(&key), "a temp file must never read as warm");
+
+    let mut spec = SweepSpec::new().cache_dir(&cache).budgets(WARMUP, MEASURE);
+    spec.push(
+        SchemeKind::SNucaLru,
+        CellWork::single("delaunay", Classification::None),
+    );
+    let result = spec.run().expect("sweep over a poisoned cache dir");
+    assert_eq!(result.cache_misses, 1, "the app was re-captured");
+    assert_eq!(result.cache_hits, 0);
+    assert!(store.contains(&key), "the completed capture landed");
+    assert!(result.cells[0].summary.cores[0].instructions >= MEASURE);
+    // The stale temp file is inert; nothing replayed it.
+    assert!(partial.exists());
+
+    std::fs::remove_dir_all(&cache).unwrap();
+}
+
 /// The replayed sweep cell must equal the live (model-driven) run it
 /// stands in for — the sweep is an optimization, not an approximation.
 #[test]

@@ -34,8 +34,8 @@ mod span;
 mod timeline;
 
 pub use registry::{
-    add, enable, enabled, observe, record_scheme, reset, set_enabled, snapshot, Counter, HistKind,
-    Snapshot,
+    add, enable, enabled, observe, record_max, record_scheme, reset, set_enabled, snapshot,
+    Counter, HistKind, Snapshot,
 };
 pub use span::{span, take_thread_phases, Phase, PhaseTotals, Span};
 pub use timeline::{ObsConfig, PoolChange, PoolOcc, PoolSample, ReconfigEvent};

@@ -53,11 +53,28 @@ pub enum Counter {
     PawsSteals,
     /// Tasks executed by the task-parallel scheduler.
     PawsTasks,
+    /// Requests the experiment service accepted onto its job queue.
+    ServeRequestsAccepted,
+    /// Service jobs that ran to completion.
+    ServeRequestsCompleted,
+    /// Service jobs cancelled (by verb, disconnect, or shutdown drain).
+    ServeRequestsCancelled,
+    /// High-water mark of the service job queue depth (a gauge recorded
+    /// via [`record_max`]).
+    ServeQueueHighWater,
+    /// Memoized MRC curve-store hits in the service store.
+    CurveStoreHits,
+    /// MRC curves the service store had to compute.
+    CurveStoreMisses,
+    /// WhirlTool classification runs answered from the harness memo.
+    ClassifyMemoHits,
+    /// WhirlTool classification runs that had to profile + cluster.
+    ClassifyMemoMisses,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 23] = [
         Counter::TraceBytesDecoded,
         Counter::TraceChunksDecoded,
         Counter::FollowChunksSkipped,
@@ -73,6 +90,14 @@ impl Counter {
         Counter::TraceCacheMisses,
         Counter::PawsSteals,
         Counter::PawsTasks,
+        Counter::ServeRequestsAccepted,
+        Counter::ServeRequestsCompleted,
+        Counter::ServeRequestsCancelled,
+        Counter::ServeQueueHighWater,
+        Counter::CurveStoreHits,
+        Counter::CurveStoreMisses,
+        Counter::ClassifyMemoHits,
+        Counter::ClassifyMemoMisses,
     ];
 
     /// The snake_case name used in JSON output.
@@ -93,6 +118,14 @@ impl Counter {
             Counter::TraceCacheMisses => "trace_cache_misses",
             Counter::PawsSteals => "paws_steals",
             Counter::PawsTasks => "paws_tasks",
+            Counter::ServeRequestsAccepted => "serve_requests_accepted",
+            Counter::ServeRequestsCompleted => "serve_requests_completed",
+            Counter::ServeRequestsCancelled => "serve_requests_cancelled",
+            Counter::ServeQueueHighWater => "serve_queue_high_water",
+            Counter::CurveStoreHits => "curve_store_hits",
+            Counter::CurveStoreMisses => "curve_store_misses",
+            Counter::ClassifyMemoHits => "classify_memo_hits",
+            Counter::ClassifyMemoMisses => "classify_memo_misses",
         }
     }
 }
@@ -171,6 +204,16 @@ pub fn set_enabled(on: bool) {
 pub fn add(counter: Counter, n: u64) {
     if enabled() {
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Raises a gauge-style counter to at least `value` (relaxed
+/// `fetch_max`) — used for high-water marks like the service queue
+/// depth. A no-op while the registry is disabled.
+#[inline]
+pub fn record_max(counter: Counter, value: u64) {
+    if enabled() {
+        COUNTERS[counter as usize].fetch_max(value, Ordering::Relaxed);
     }
 }
 
@@ -312,6 +355,21 @@ mod tests {
             .map(|&(_, v)| v)
             .unwrap();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn record_max_is_a_high_water_mark() {
+        set_enabled(true);
+        record_max(Counter::ServeQueueHighWater, 5);
+        record_max(Counter::ServeQueueHighWater, 3);
+        let v = snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "serve_queue_high_water")
+            .map(|&(_, v)| v)
+            .unwrap();
+        set_enabled(false);
+        assert!(v >= 5, "high-water keeps the max, got {v}");
     }
 
     #[test]

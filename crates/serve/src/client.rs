@@ -1,0 +1,152 @@
+//! The thin client: send one request line, stream the reply frames.
+//!
+//! `trace_tool --connect <sock>` routes every subcommand through here.
+//! For work verbs the client prints each `line` frame's `data` with
+//! `println!` — the same macro the offline path uses on the same
+//! [`ops`](crate::ops)-produced strings — so client-mode stdout is
+//! byte-identical to the offline invocation. Errors travel on stderr and
+//! the exit code, never stdout.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use whirlpool_repro::bench_check::{parse, Json};
+
+use crate::protocol::Request;
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+/// A work verb's outcome, as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The job id the daemon assigned (0 for rejected requests).
+    pub job: u64,
+    /// The op's stdout lines, verbatim.
+    pub lines: Vec<String>,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message naming the socket (typically: no daemon
+    /// running there).
+    pub fn connect(socket: &Path) -> Result<Self, String> {
+        let stream = UnixStream::connect(socket).map_err(|e| {
+            format!(
+                "cannot connect to {}: {e} (is `trace_tool serve` running?)",
+                socket.display()
+            )
+        })?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw line (newline appended here).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_line(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("daemon connection lost while sending: {e}"))
+    }
+
+    /// Reads one reply frame (without its newline).
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures or a daemon-side hangup.
+    pub fn read_frame(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".into()),
+            Ok(_) => Ok(line.trim_end_matches('\n').to_string()),
+            Err(e) => Err(format!("daemon connection lost while reading: {e}")),
+        }
+    }
+
+    /// Runs one work verb to completion, collecting its stdout lines.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's error frame message (including cancellations), or
+    /// transport failures.
+    pub fn run(&mut self, req: &Request) -> Result<Reply, String> {
+        self.send_line(&req.to_line())?;
+        self.collect()
+    }
+
+    /// Reads frames for one previously sent work request until its
+    /// `done`/`error` frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn collect(&mut self) -> Result<Reply, String> {
+        let mut job = 0u64;
+        let mut lines = Vec::new();
+        loop {
+            let frame = self.read_frame()?;
+            let doc = parse(&frame).map_err(|e| format!("malformed daemon frame: {e}"))?;
+            match doc.get("type").and_then(Json::as_str) {
+                Some("ack") => {
+                    job = doc.get("job").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                }
+                Some("line") => {
+                    let data = doc
+                        .get("data")
+                        .and_then(Json::as_str)
+                        .ok_or("line frame lacks string data")?;
+                    lines.push(data.to_string());
+                }
+                Some("done") => return Ok(Reply { job, lines }),
+                Some("error") => {
+                    let message = doc
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified daemon error");
+                    return Err(message.to_string());
+                }
+                other => {
+                    return Err(format!(
+                        "unexpected frame type {other:?} in a work reply: {frame}"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Runs one synchronous verb (`status`, `metrics`, `cancel`,
+    /// `shutdown`), returning its single reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a daemon-side error frame.
+    pub fn call(&mut self, req: &Request) -> Result<String, String> {
+        self.send_line(&req.to_line())?;
+        let frame = self.read_frame()?;
+        let doc = parse(&frame).map_err(|e| format!("malformed daemon frame: {e}"))?;
+        if doc.get("type").and_then(Json::as_str) == Some("error") {
+            let message = doc
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified daemon error");
+            return Err(message.to_string());
+        }
+        Ok(frame)
+    }
+}

@@ -1,0 +1,220 @@
+//! The daemon's warm state: trace-cache index, memoized MRC curves,
+//! append-only result log.
+//!
+//! Everything a batch run rebuilds per process, the resident store keeps
+//! hot across requests:
+//!
+//! * **Trace index** — an in-memory set of warm capture keys over the
+//!   shared `WP_TRACE_CACHE` layout, seeded by one directory scan at
+//!   startup and updated as captures land. Sweeps run over it via the
+//!   [`TraceStore`] trait, so warm lookups skip the filesystem entirely.
+//! * **Curve memo** — profiled MRC curves keyed by the profile request
+//!   (file, streams, rate, `s_max`, granule — i.e. the whole argv) plus
+//!   the trace file's length and mtime, so an overwritten trace can
+//!   never serve a stale curve. Hits and misses are tallied under
+//!   `wp_obs::Counter::{CurveStoreHits, CurveStoreMisses}`.
+//! * **Result log** — one JSON line per finished job, appended to
+//!   `results.jsonl` in the state directory and flushed on shutdown.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use wp_bench::store::TraceStore;
+
+/// The resident store. Shared across the listener, dispatcher, and ops
+/// layers as an `Arc<ServeStore>`; every interior field carries its own
+/// lock, so concurrent jobs never serialize on one global mutex.
+#[derive(Debug)]
+pub struct ServeStore {
+    cache_dir: PathBuf,
+    warm: Mutex<HashSet<String>>,
+    curves: Mutex<HashMap<String, Arc<String>>>,
+    log: Mutex<std::io::BufWriter<std::fs::File>>,
+    log_path: PathBuf,
+}
+
+impl ServeStore {
+    /// Opens the store: scans `cache_dir` for completed `.wpt` captures
+    /// (temp files are skipped by construction — they end in
+    /// `.tmp.<pid>-<seq>`) and opens `state_dir/results.jsonl` for
+    /// append.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message if either directory cannot be created or the
+    /// result log cannot be opened.
+    pub fn open(cache_dir: impl Into<PathBuf>, state_dir: &Path) -> Result<Self, String> {
+        let cache_dir = cache_dir.into();
+        std::fs::create_dir_all(&cache_dir)
+            .map_err(|e| format!("cannot create trace cache {}: {e}", cache_dir.display()))?;
+        std::fs::create_dir_all(state_dir)
+            .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+        let mut warm = HashSet::new();
+        let entries = std::fs::read_dir(&cache_dir)
+            .map_err(|e| format!("cannot scan trace cache {}: {e}", cache_dir.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(key) = name.strip_suffix(".wpt") {
+                warm.insert(key.to_string());
+            }
+        }
+        let log_path = state_dir.join("results.jsonl");
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| format!("cannot open result log {}: {e}", log_path.display()))?;
+        Ok(Self {
+            cache_dir,
+            warm: Mutex::new(warm),
+            curves: Mutex::new(HashMap::new()),
+            log: Mutex::new(std::io::BufWriter::new(file)),
+            log_path,
+        })
+    }
+
+    /// Number of warm capture keys in the index.
+    pub fn warm_traces(&self) -> usize {
+        self.warm.lock().expect("warm index").len()
+    }
+
+    /// Number of memoized curves.
+    pub fn curves_held(&self) -> usize {
+        self.curves.lock().expect("curve memo").len()
+    }
+
+    /// Where the result log lives.
+    pub fn log_path(&self) -> &Path {
+        &self.log_path
+    }
+
+    /// The memo key for a profile request: the argv (which carries the
+    /// file, stream set, rate, `s_max`, granule, and output shape) plus
+    /// the trace file's length and mtime-nanos, so rewriting the trace
+    /// invalidates every curve derived from it.
+    pub fn curve_key(argv: &[String], file: &Path) -> String {
+        let identity = std::fs::metadata(file)
+            .map(|m| {
+                let mtime = m
+                    .modified()
+                    .ok()
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                    .map_or(0, |d| d.as_nanos());
+                format!("{}:{}", m.len(), mtime)
+            })
+            .unwrap_or_else(|_| "missing".into());
+        format!("{identity}|{}", argv.join("\u{1f}"))
+    }
+
+    /// Looks `key` up in the curve memo, tallying hit/miss counters.
+    pub fn curve_lookup(&self, key: &str) -> Option<Arc<String>> {
+        let hit = self.curves.lock().expect("curve memo").get(key).cloned();
+        wp_obs::add(
+            if hit.is_some() {
+                wp_obs::Counter::CurveStoreHits
+            } else {
+                wp_obs::Counter::CurveStoreMisses
+            },
+            1,
+        );
+        hit
+    }
+
+    /// Memoizes a freshly computed curve payload.
+    pub fn curve_insert(&self, key: String, payload: String) {
+        self.curves
+            .lock()
+            .expect("curve memo")
+            .insert(key, Arc::new(payload));
+    }
+
+    /// Appends one line to the result log (newline added here).
+    pub fn log_line(&self, line: &str) {
+        let mut log = self.log.lock().expect("result log");
+        let _ = writeln!(log, "{line}");
+    }
+
+    /// Flushes the result log (shutdown path).
+    pub fn flush(&self) {
+        let _ = self.log.lock().expect("result log").flush();
+    }
+}
+
+impl TraceStore for ServeStore {
+    fn dir(&self) -> &Path {
+        &self.cache_dir
+    }
+
+    /// Warm iff indexed — with a filesystem fallback so captures made by
+    /// concurrent *batch* processes sharing the cache directory are
+    /// picked up (and indexed) rather than re-run.
+    fn contains(&self, key: &str) -> bool {
+        let mut warm = self.warm.lock().expect("warm index");
+        if warm.contains(key) {
+            return true;
+        }
+        if self.path(key).exists() {
+            warm.insert(key.to_string());
+            return true;
+        }
+        false
+    }
+
+    fn note_captured(&self, key: &str) {
+        self.warm
+            .lock()
+            .expect("warm index")
+            .insert(key.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dirs(tag: &str) -> (PathBuf, PathBuf) {
+        let base = std::env::temp_dir().join(format!("wp-servestore-{}-{tag}", std::process::id()));
+        (base.join("cache"), base.join("state"))
+    }
+
+    #[test]
+    fn open_seeds_the_warm_index_and_skips_temp_files() {
+        let (cache, state) = tmp_dirs("seed");
+        std::fs::create_dir_all(&cache).unwrap();
+        std::fs::write(cache.join("a-w1-m2.wpt"), b"x").unwrap();
+        std::fs::write(cache.join("b-w1-m2.wpt.tmp.1-0"), b"partial").unwrap();
+        let store = ServeStore::open(&cache, &state).unwrap();
+        assert_eq!(store.warm_traces(), 1);
+        assert!(store.contains("a-w1-m2"));
+        assert!(!store.contains("b-w1-m2"));
+        // A capture landing on disk behind the index's back is adopted.
+        std::fs::write(cache.join("c-w1-m2.wpt"), b"x").unwrap();
+        assert!(store.contains("c-w1-m2"));
+        assert_eq!(store.warm_traces(), 2);
+        let _ = std::fs::remove_dir_all(cache.parent().unwrap());
+    }
+
+    #[test]
+    fn curve_key_tracks_file_identity() {
+        let (cache, state) = tmp_dirs("curvekey");
+        std::fs::create_dir_all(&cache).unwrap();
+        let trace = cache.join("t.wpt");
+        std::fs::write(&trace, b"one").unwrap();
+        let argv = vec![trace.display().to_string(), "--json".to_string()];
+        let k1 = ServeStore::curve_key(&argv, &trace);
+        std::fs::write(&trace, b"rewritten longer").unwrap();
+        let k2 = ServeStore::curve_key(&argv, &trace);
+        assert_ne!(k1, k2, "rewriting the trace must invalidate the memo");
+        let store = ServeStore::open(&cache, &state).unwrap();
+        store.curve_insert(k2.clone(), "payload".into());
+        assert_eq!(
+            store.curve_lookup(&k2).as_deref().map(String::as_str),
+            Some("payload")
+        );
+        assert!(store.curve_lookup(&k1).is_none());
+        let _ = std::fs::remove_dir_all(cache.parent().unwrap());
+    }
+}

@@ -48,6 +48,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The decoded string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document (trailing whitespace allowed, trailing

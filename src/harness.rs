@@ -13,7 +13,8 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use whirlpool::WhirlpoolScheme;
 use wp_baselines::{AwasthiParams, AwasthiScheme, IdealSpdScheme, SNucaScheme, SnucaReplacement};
@@ -80,6 +81,9 @@ pub enum HarnessError {
     /// A trace file failed to open, read, or validate (missing,
     /// truncated, corrupt, or capture I/O).
     Trace(TraceError),
+    /// The run's [`CancelToken`] fired before or between its cooperative
+    /// checkpoints; no result was produced.
+    Cancelled,
 }
 
 impl std::fmt::Display for HarnessError {
@@ -123,6 +127,7 @@ impl std::fmt::Display for HarnessError {
                  in separate runs"
             ),
             HarnessError::Trace(e) => write!(f, "{e}"),
+            HarnessError::Cancelled => write!(f, "cancelled before completion"),
         }
     }
 }
@@ -140,6 +145,73 @@ impl From<TraceError> for HarnessError {
     fn from(e: TraceError) -> Self {
         HarnessError::Trace(e)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// A shared cancellation flag, checked cooperatively at the coarse
+/// checkpoints of a run: before an [`Experiment`] builds its workloads,
+/// before it launches the simulator, and (in `wp_bench::sweep`) before
+/// each capture and each cell. Cloning shares the flag; any clone's
+/// [`cancel`](Self::cancel) stops every holder at its next checkpoint,
+/// surfacing as [`HarnessError::Cancelled`].
+///
+/// The experiment service hands one token per job to the code it runs,
+/// which is how a `cancel` verb (or a daemon shutdown drain) stops an
+/// in-flight sweep without poisoning shared state: workers finish the
+/// cell they are on and release everything normally.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token; every holder errors at its next checkpoint.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// `Err(Cancelled)` once the token has fired — the checkpoint
+    /// helper run loops call.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cancelled`] when [`cancel`](Self::cancel) has been
+    /// called on any clone.
+    pub fn check(&self) -> Result<(), HarnessError> {
+        if self.is_cancelled() {
+            Err(HarnessError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification memo
+// ---------------------------------------------------------------------------
+
+/// Memo key: everything that determines a WhirlTool classification run's
+/// output, including the `WP_MRC_SAMPLE` configuration in effect (keyed
+/// by bit pattern so `0.01` and `0.0100000001` never alias).
+type ClassifyKey = (String, usize, bool, Option<(u64, Option<usize>)>);
+
+/// Memoized classification result, shared across experiments by `Arc`.
+type ClassifyMemo = Mutex<HashMap<ClassifyKey, Arc<HashMap<CallpointId, usize>>>>;
+
+fn classify_memo() -> &'static ClassifyMemo {
+    static MEMO: OnceLock<ClassifyMemo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// Levenshtein edit distance, for did-you-mean suggestions.
@@ -362,11 +434,34 @@ pub fn mrc_sample_from_env() -> Option<wp_mrc::ShardsConfig> {
 /// cluster, return the callpoint→pool assignment. Set `WP_MRC_SAMPLE`
 /// (see [`mrc_sample_from_env`]) to profile with SHARDS sampling instead
 /// of exact Mattson stacks.
+///
+/// Classification is pure in `(app, pools, train)` plus the sampling
+/// config, so results are memoized process-wide: repeat invocations —
+/// every cell of a sweep, every request a resident `wp-serve` daemon
+/// handles — reuse the first run's assignment instead of re-profiling
+/// 10 M instructions. Hits and misses are tallied under
+/// `wp_obs::Counter::{ClassifyMemoHits, ClassifyMemoMisses}`.
 pub fn classify_with_whirltool(
     app: &str,
     pools: usize,
     train: bool,
 ) -> HashMap<CallpointId, usize> {
+    let sample = mrc_sample_from_env();
+    let key: ClassifyKey = (
+        app.to_string(),
+        pools,
+        train,
+        sample.as_ref().map(|s| (s.rate.to_bits(), s.s_max)),
+    );
+    if let Some(hit) = classify_memo()
+        .lock()
+        .expect("classification memo poisoned")
+        .get(&key)
+    {
+        wp_obs::add(wp_obs::Counter::ClassifyMemoHits, 1);
+        return HashMap::clone(hit);
+    }
+    wp_obs::add(wp_obs::Counter::ClassifyMemoMisses, 1);
     let spec = if train {
         registry::train_spec(app)
     } else {
@@ -387,11 +482,16 @@ pub fn classify_with_whirltool(
             total_instrs: 10_000_000,
             granule_lines: 1024,
             curve_points: 201,
-            sample: mrc_sample_from_env(),
+            sample,
         },
     );
     let tree = cluster(&data, 200);
-    tree.assignment(pools)
+    let assignment = Arc::new(tree.assignment(pools));
+    classify_memo()
+        .lock()
+        .expect("classification memo poisoned")
+        .insert(key, Arc::clone(&assignment));
+    HashMap::clone(&assignment)
 }
 
 /// Builds the pool descriptors of `model` under a classification.
@@ -692,6 +792,7 @@ pub struct Experiment {
     capture_to: Option<PathBuf>,
     exec: Option<ExecMode>,
     obs: Option<wp_obs::ObsConfig>,
+    cancel: Option<CancelToken>,
 }
 
 impl Experiment {
@@ -707,6 +808,7 @@ impl Experiment {
             capture_to: None,
             exec: None,
             obs: None,
+            cancel: None,
         }
     }
 
@@ -864,6 +966,18 @@ impl Experiment {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]: the run checks it before
+    /// building workloads (the Capture/Profile/Classify work) and again
+    /// before launching the simulator, returning
+    /// [`HarnessError::Cancelled`] if it has fired. This is the hook the
+    /// experiment service's `cancel` verb and shutdown drain use; batch
+    /// runs never set it and pay nothing.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Overrides the event delivery path (default: `WP_EXEC` if set and
     /// parseable — `per-event` or `batched` — else [`ExecMode::default`]).
     /// Both modes produce bit-identical [`RunSummary`]s; this knob exists
@@ -947,6 +1061,10 @@ impl Experiment {
             .classification
             .unwrap_or_else(|| self.kind.default_classification());
         let cores = sys.floorplan.num_cores();
+        let cancel = self.cancel;
+        if let Some(tok) = &cancel {
+            tok.check()?;
+        }
         let mut sched = None;
 
         // Build the per-core attachments. This is where trace scans,
@@ -1036,6 +1154,12 @@ impl Experiment {
         };
 
         drop(_capture);
+
+        // Second cancellation checkpoint: after the (potentially long)
+        // workload build, before the simulator runs.
+        if let Some(tok) = &cancel {
+            tok.check()?;
+        }
 
         // One uniform launch path: capture, attach, run, finalize.
         let mut cfg = wp_sim::SimConfig::new(sys);

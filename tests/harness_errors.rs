@@ -1,11 +1,9 @@
 //! The harness error surface, end to end: every misuse — unknown app,
 //! unknown scheme, over-subscribed floorplan, missing/corrupt trace,
 //! colliding trace mix — yields the matching typed [`HarnessError`]
-//! variant through `Experiment`/`RunSpec` (no panics), and the
-//! `trace_tool` CLI turns each into a non-zero exit with a one-line
-//! message (did-you-mean suggestions included).
-
-use std::process::Command;
+//! variant through `Experiment`/`RunSpec` (no panics). The matching
+//! `trace_tool` CLI exit-code tests live with the binary, in
+//! `crates/serve/tests/cli_errors.rs`.
 
 use whirlpool_repro::harness::{Classification, Experiment, HarnessError, RunSpec, SchemeKind};
 
@@ -181,62 +179,5 @@ fn replay_with_too_many_streams_for_the_chip_is_typed() {
         }
         other => panic!("expected a Trace error, got {other:?}"),
     }
-    std::fs::remove_file(&path).unwrap();
-}
-
-// ---------------------------------------------------------------------------
-// CLI surface: exit codes and one-line messages
-// ---------------------------------------------------------------------------
-
-fn trace_tool(args: &[&str]) -> (bool, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
-        .args(args)
-        .output()
-        .expect("run trace_tool");
-    (
-        out.status.success(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-    )
-}
-
-#[test]
-fn cli_unknown_app_exits_nonzero_with_suggestion() {
-    let (ok, err) = trace_tool(&["record", "delauny", "--out", "/tmp/never.wpt"]);
-    assert!(!ok, "must exit non-zero");
-    assert!(err.contains("unknown app 'delauny'"), "{err}");
-    assert!(err.contains("did you mean 'delaunay'"), "{err}");
-}
-
-#[test]
-fn cli_unknown_scheme_exits_nonzero_with_suggestion() {
-    let (ok, err) = trace_tool(&[
-        "record",
-        "delaunay",
-        "--scheme",
-        "whirlpol",
-        "--out",
-        "/tmp/never.wpt",
-    ]);
-    assert!(!ok, "must exit non-zero");
-    assert!(err.contains("unknown scheme 'whirlpol'"), "{err}");
-    assert!(err.contains("did you mean 'Whirlpool'"), "{err}");
-}
-
-#[test]
-fn cli_bad_trace_exits_nonzero_one_line() {
-    let (ok, err) = trace_tool(&["replay", "/nonexistent/x.wpt"]);
-    assert!(!ok, "must exit non-zero");
-    let lines: Vec<&str> = err.lines().filter(|l| !l.is_empty()).collect();
-    assert_eq!(lines.len(), 1, "one-line message, no usage dump: {err}");
-    assert!(lines[0].starts_with("trace_tool:"), "{err}");
-}
-
-#[test]
-fn cli_colliding_trace_mix_exits_nonzero() {
-    let path = capture_small("cli-collide");
-    let uri = format!("trace:{}", path.display());
-    let (ok, err) = trace_tool(&["record", &uri, &uri, "--out", "/tmp/never.wpt"]);
-    assert!(!ok, "must exit non-zero");
-    assert!(err.contains("overlap"), "{err}");
     std::fs::remove_file(&path).unwrap();
 }

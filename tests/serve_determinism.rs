@@ -1,0 +1,255 @@
+//! The service-mode contract: anything the daemon serves is
+//! byte-identical to the same offline invocation, concurrency included —
+//! N parallel client connections running the same sweep get the same
+//! bytes batch mode prints — and a cancelled job leaves the store
+//! serving subsequent requests. Also locks the graceful-shutdown path:
+//! the `shutdown` verb drains the daemon and removes the socket file.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use whirlpool_repro::harness::{Experiment, SchemeKind};
+use wp_serve::ops::{self, OpCtx};
+use wp_serve::protocol::{ExpOp, Request};
+use wp_serve::{Client, ServeConfig, Server};
+
+struct Daemon {
+    socket: PathBuf,
+    base: PathBuf,
+    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<Result<(), String>>>,
+}
+
+impl Daemon {
+    /// Binds an in-process daemon on fresh temp dirs and serves it on a
+    /// background thread.
+    fn start(tag: &str, workers: usize) -> Self {
+        let base = std::env::temp_dir().join(format!("wp-serve-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let socket = base.join("wp.sock");
+        let mut config = ServeConfig::new(&socket);
+        config.cache_dir = base.join("cache");
+        config.state_dir = base.join("state");
+        config.workers = workers;
+        let server = Server::bind(&config).expect("bind daemon");
+        let shutdown = server.shutdown_flag();
+        let thread = std::thread::spawn(move || server.run());
+        Self {
+            socket,
+            base,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.socket).expect("connect to daemon")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("daemon thread").expect("daemon run");
+        }
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+fn strs(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn parallel_clients_match_batch_sweep_byte_for_byte() {
+    let daemon = Daemon::start("sweep", 2);
+    let core = [
+        "--apps",
+        "delaunay,mcf",
+        "--schemes",
+        "LRU,Whirlpool",
+        "--warmup",
+        "20000",
+        "--measure",
+        "150000",
+    ];
+    // Batch mode: same argv plus an explicit offline cache dir (the
+    // daemon owns its own; bytes must match across that split too).
+    let batch_cache = daemon.base.join("batch-cache");
+    let mut offline_argv = strs(&core);
+    offline_argv.extend(strs(&["--cache-dir", batch_cache.to_str().unwrap()]));
+    let offline = ops::run_request(&Request::Sweep { argv: offline_argv }, &OpCtx::offline())
+        .expect("offline sweep");
+
+    let served_req = Request::Sweep { argv: strs(&core) };
+    let replies: Vec<Vec<String>> = std::thread::scope(|scope| {
+        (0..3)
+            .map(|_| {
+                let req = served_req.clone();
+                let daemon = &daemon;
+                scope.spawn(move || daemon.client().run(&req).expect("served sweep").lines)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for (i, lines) in replies.iter().enumerate() {
+        assert_eq!(
+            lines, &offline,
+            "client {i}'s sweep bytes diverged from batch mode"
+        );
+    }
+}
+
+#[test]
+fn served_replay_and_profile_match_offline_byte_for_byte() {
+    let daemon = Daemon::start("replay", 2);
+    // One real capture both modes replay/profile.
+    let trace = daemon.base.join("probe.wpt");
+    Experiment::single(SchemeKind::SNucaLru, "mcf")
+        .warmup(20_000)
+        .measure(150_000)
+        .capture_to(&trace)
+        .run()
+        .expect("capture probe trace");
+    let trace = trace.to_str().unwrap();
+
+    let replay_argv = strs(&[trace, "--scheme", "Whirlpool", "--measure", "100000"]);
+    let offline = ops::run_request(
+        &Request::Experiment {
+            op: ExpOp::Replay,
+            argv: replay_argv.clone(),
+        },
+        &OpCtx::offline(),
+    )
+    .expect("offline replay");
+    let served = daemon
+        .client()
+        .run(&Request::Experiment {
+            op: ExpOp::Replay,
+            argv: replay_argv,
+        })
+        .expect("served replay");
+    assert_eq!(served.lines, offline, "replay bytes diverged");
+
+    let profile_argv = strs(&[trace, "--sample-rate", "0.2", "--s-max", "512", "--json"]);
+    let offline = ops::run_request(
+        &Request::Profile {
+            argv: profile_argv.clone(),
+        },
+        &OpCtx::offline(),
+    )
+    .expect("offline profile");
+    let req = Request::Profile { argv: profile_argv };
+    // Cold (computes and memoizes) and warm (replays the memo) must both
+    // match offline exactly.
+    let cold = daemon.client().run(&req).expect("served profile, cold");
+    let warm = daemon.client().run(&req).expect("served profile, warm");
+    assert_eq!(cold.lines, offline, "cold served profile diverged");
+    assert_eq!(warm.lines, offline, "memoized served profile diverged");
+}
+
+#[test]
+fn cancellation_mid_sweep_leaves_the_store_serving() {
+    let daemon = Daemon::start("cancel", 1);
+    // A sweep big enough that cancellation lands mid-flight: 4 captures
+    // plus a 4x4 grid of cells, with per-cell cancel checkpoints.
+    let sweep = Request::Sweep {
+        argv: strs(&[
+            "--apps",
+            "delaunay,mcf,BFS,MST",
+            "--schemes",
+            "LRU,DRRIP,Jigsaw,Whirlpool",
+            "--warmup",
+            "20000",
+            "--measure",
+            "400000",
+        ]),
+    };
+    let mut submitter = daemon.client();
+    submitter.send_line(&sweep.to_line()).expect("send sweep");
+    let ack = submitter.read_frame().expect("ack frame");
+    assert!(ack.contains("\"type\":\"ack\""), "ack: {ack}");
+    let job: u64 = ack
+        .split("\"job\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches('}').parse().ok())
+        .expect("job id in ack");
+    // Cancel from a second connection, as a real operator would.
+    let cancel_reply = daemon
+        .client()
+        .call(&Request::Cancel { job })
+        .expect("cancel call");
+    assert!(
+        cancel_reply.contains("\"found\":true"),
+        "cancel: {cancel_reply}"
+    );
+    // The submitter's stream ends in an error or (if the sweep won the
+    // race) a done; either way the connection and daemon stay healthy.
+    let outcome = submitter.collect();
+    if let Err(message) = &outcome {
+        assert!(
+            message.contains("cancelled"),
+            "a cancelled sweep must say so: {message}"
+        );
+    }
+    // The store keeps serving: a fresh request on a fresh connection
+    // completes normally.
+    let trace = daemon.base.join("after.wpt");
+    let record = Request::Experiment {
+        op: ExpOp::Record,
+        argv: strs(&[
+            "mcf",
+            "--out",
+            trace.to_str().unwrap(),
+            "--warmup",
+            "10000",
+            "--measure",
+            "50000",
+        ]),
+    };
+    let reply = daemon.client().run(&record).expect("post-cancel record");
+    assert_eq!(reply.lines.len(), 1, "record returns one summary line");
+    assert!(trace.exists(), "post-cancel capture landed");
+    // And the daemon's own books saw the cancellation (unless the sweep
+    // finished first, which the outcome told us about).
+    if outcome.is_err() {
+        let status = daemon.client().call(&Request::Status).expect("status");
+        assert!(status.contains("\"cancelled\":1"), "status: {status}");
+    }
+}
+
+#[test]
+fn shutdown_verb_drains_and_removes_the_socket() {
+    let base = std::env::temp_dir().join(format!("wp-serve-det-shut-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let socket = base.join("wp.sock");
+    let mut config = ServeConfig::new(&socket);
+    config.cache_dir = base.join("cache");
+    config.state_dir = base.join("state");
+    let server = Server::bind(&config).expect("bind daemon");
+    let log_path = server.store().log_path().to_path_buf();
+    let thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&socket).expect("connect");
+    // One real job first, so the drain path has something to have done.
+    client
+        .run(&Request::Profile {
+            argv: vec!["/nonexistent.wpt".into()],
+        })
+        .expect_err("profiling a missing trace errors");
+    let reply = client.call(&Request::Shutdown).expect("shutdown call");
+    assert!(reply.contains("\"type\":\"shutdown\""), "reply: {reply}");
+    thread
+        .join()
+        .expect("daemon thread")
+        .expect("graceful shutdown returns Ok");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+    let log = std::fs::read_to_string(&log_path).expect("result log flushed");
+    assert!(
+        log.contains("\"verb\":\"profile\""),
+        "result log records the job: {log}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
