@@ -12,6 +12,11 @@
 //!   page-granularity D-NUCA using page coloring, a 4-closest-banks initial
 //!   allocation, and epoch-based hot-page migration controlled by the
 //!   `alpha_a` / `alpha_b` parameters the paper sweeps.
+//! * [`MemshareScheme`] — Memshare-style contention-aware apportioning:
+//!   one logical partition per core, capacity slabs greedily reassigned
+//!   between them at every interval by marginal miss reduction from the
+//!   cores' sampled utility curves. The multi-tenant baseline the
+//!   `wp-tenant` scenarios evaluate Whirlpool against.
 //!
 //! All three run on the same [`wp_sim`] substrate and energy accounting as
 //! Jigsaw and Whirlpool, so the cross-scheme comparisons are apples to
@@ -21,8 +26,10 @@
 
 mod awasthi;
 mod idealspd;
+mod memshare;
 mod snuca;
 
 pub use awasthi::{AwasthiParams, AwasthiScheme};
 pub use idealspd::IdealSpdScheme;
+pub use memshare::MemshareScheme;
 pub use snuca::{SNucaScheme, SnucaReplacement};

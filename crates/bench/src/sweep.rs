@@ -186,6 +186,21 @@ impl SweepSpec {
         spec
     }
 
+    /// The (scheme × app) *alone-run* grid for multi-tenant scenarios:
+    /// each cell runs one app by itself on the scenario's chip (a
+    /// single-entry mix, so the system config and warmup match the
+    /// shared runs it normalizes). `wp-tenant` divides each tenant's
+    /// shared-run IPC by its alone-run IPC from this grid.
+    pub fn alone_grid(schemes: &[SchemeKind], apps: &[&str], instrs: u64, cores16: bool) -> Self {
+        let mut spec = Self::new();
+        for &app in apps {
+            for &scheme in schemes {
+                spec.push(scheme, CellWork::mix(&[app], instrs, cores16));
+            }
+        }
+        spec
+    }
+
     /// Appends one cell. Cells run in insertion order as far as results
     /// are concerned, whatever the worker interleaving.
     pub fn push(&mut self, scheme: SchemeKind, work: CellWork) {
@@ -471,6 +486,12 @@ impl SweepSpec {
             } => {
                 let refs: Vec<&str> = apps.iter().map(String::as_str).collect();
                 let mut exp = Experiment::mix(cell.scheme, &refs).measure(*instrs);
+                // Mixes default to the fixed shared warmup; scenario
+                // alone-run grids override it so the baseline cells warm
+                // exactly like the shared epochs they normalize.
+                if let Some(w) = self.warmup_override {
+                    exp = exp.warmup(w);
+                }
                 if *cores16 {
                     exp = exp.system(whirlpool_repro::harness::sixteen_core_config());
                 }
@@ -527,8 +548,11 @@ fn capture_app(
 
 /// Runs `f(0..n)` on a pool of `jobs` scoped worker threads, returning
 /// results in index order. The whole simulation stack is `Send`, so each
-/// worker owns its cells end to end; the first error wins.
-fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, HarnessError>
+/// worker owns its cells end to end; the first error (lowest index) wins,
+/// whatever the worker interleaving — which is what keeps callers'
+/// output independent of `WP_JOBS`. Also used by `wp-tenant` to fan a
+/// scenario's schemes out without inventing a second thread pool.
+pub fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, HarnessError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, HarnessError> + Sync,

@@ -38,6 +38,8 @@ pub use registry::{
     Counter, HistKind, Snapshot,
 };
 pub use span::{span, take_thread_phases, Phase, PhaseTotals, Span};
-pub use timeline::{ObsConfig, PoolChange, PoolOcc, PoolSample, ReconfigEvent};
+pub use timeline::{
+    ObsConfig, PoolChange, PoolOcc, PoolSample, ReconfigEvent, TenantEvent, TenantEventKind,
+};
 
 pub use json::{fmt_f64, quote};

@@ -70,11 +70,19 @@ pub enum Counter {
     ClassifyMemoHits,
     /// WhirlTool classification runs that had to profile + cluster.
     ClassifyMemoMisses,
+    /// Tenant arrivals admitted by the scenario engine.
+    TenantArrivals,
+    /// Tenant departures retired by the scenario engine.
+    TenantDepartures,
+    /// Scenario epochs simulated (one per non-empty epoch per scheme).
+    TenantEpochsRun,
+    /// Tenant-epochs that violated their SLO (waiting epochs included).
+    TenantSloViolations,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 27] = [
         Counter::TraceBytesDecoded,
         Counter::TraceChunksDecoded,
         Counter::FollowChunksSkipped,
@@ -98,6 +106,10 @@ impl Counter {
         Counter::CurveStoreMisses,
         Counter::ClassifyMemoHits,
         Counter::ClassifyMemoMisses,
+        Counter::TenantArrivals,
+        Counter::TenantDepartures,
+        Counter::TenantEpochsRun,
+        Counter::TenantSloViolations,
     ];
 
     /// The snake_case name used in JSON output.
@@ -126,6 +138,10 @@ impl Counter {
             Counter::CurveStoreMisses => "curve_store_misses",
             Counter::ClassifyMemoHits => "classify_memo_hits",
             Counter::ClassifyMemoMisses => "classify_memo_misses",
+            Counter::TenantArrivals => "tenant_arrivals",
+            Counter::TenantDepartures => "tenant_departures",
+            Counter::TenantEpochsRun => "tenant_epochs_run",
+            Counter::TenantSloViolations => "tenant_slo_violations",
         }
     }
 }

@@ -166,6 +166,62 @@ impl ReconfigEvent {
     }
 }
 
+/// What happened to a tenant at a scenario epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantEventKind {
+    /// The tenant entered the system this epoch.
+    Arrive,
+    /// The tenant left the system this epoch.
+    Depart,
+    /// The tenant held a core and executed this epoch.
+    Admit,
+    /// The tenant was resident but no core was free.
+    Wait,
+    /// The tenant's SLO was violated this epoch.
+    Violate,
+}
+
+impl TenantEventKind {
+    /// The snake_case label used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantEventKind::Arrive => "arrive",
+            TenantEventKind::Depart => "depart",
+            TenantEventKind::Admit => "admit",
+            TenantEventKind::Wait => "wait",
+            TenantEventKind::Violate => "violate",
+        }
+    }
+}
+
+/// One multi-tenant scenario event, as emitted by the `wp-tenant`
+/// engine's per-scheme timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEvent {
+    /// Scheme label the event occurred under.
+    pub scheme: String,
+    /// Scenario epoch (0-based).
+    pub epoch: u64,
+    /// Tenant name from the `.wps` file.
+    pub tenant: String,
+    /// What happened.
+    pub kind: TenantEventKind,
+}
+
+impl TenantEvent {
+    /// One JSONL line: `{"type":"tenant","scheme":…,"epoch":…,
+    /// "tenant":…,"event":…}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"type\":\"tenant\",\"scheme\":{},\"epoch\":{},\"tenant\":{},\"event\":{}}}",
+            quote(&self.scheme),
+            self.epoch,
+            quote(&self.tenant),
+            quote(self.kind.name()),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +273,22 @@ mod tests {
         assert!(lines[0].contains("\"old_granules\":4"));
         assert!(lines[1].contains("\"old_granules\":null"));
         assert!(lines[1].contains("\"bypassed\":true"));
+    }
+
+    #[test]
+    fn tenant_event_line_shape() {
+        let e = TenantEvent {
+            scheme: "Memshare".into(),
+            epoch: 3,
+            tenant: "t\"7\"".into(),
+            kind: TenantEventKind::Wait,
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"type\":\"tenant\""));
+        assert!(line.contains("\"epoch\":3"));
+        assert!(line.contains("\"event\":\"wait\""));
+        assert!(line.contains("\\\"7\\\""), "tenant names escape: {line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!                           [--verify-exact] [--max-err E] [--capacity-slack S]
 //! trace_tool sweep --apps a,b[,...] [--schemes S,...] [--warmup N --measure N]
 //!                  [--jobs N] [--cache-dir D] [--exec per-event|batched] [--full-json]
+//! trace_tool scenario <file.wps> [--schemes S,...] [--jobs N]
+//!                     [--exec per-event|batched] [--timeline] [--check-timeline]
 //! trace_tool bench-check --baseline <BENCH_*.json>... --fresh-dir <dir>
 //!                        [--max-regress R]
 //! trace_tool obs <app|file> [--scheme S] [--classification C]
@@ -23,11 +25,13 @@
 //! trace_tool serve [--socket P] [--cache-dir D] [--state-dir D]
 //!                  [--workers N] [--queue N]
 //! trace_tool serve-bench [--out F] [--clients C] [--requests N] [--cold N]
+//! trace_tool tenant-bench [--out F] [--scenario <file.wps>] [--jobs N]
 //! trace_tool status|metrics|shutdown --connect <sock>
 //! trace_tool cancel <job> --connect <sock>
 //! ```
 //!
-//! Every work subcommand (`record`, `replay`, `profile`, `sweep`, `obs`)
+//! Every work subcommand (`record`, `replay`, `profile`, `sweep`,
+//! `scenario`, `obs`)
 //! also takes `--connect <sock>`: instead of running locally it ships
 //! the identical argument vector to the daemon listening on `<sock>` and
 //! prints the streamed reply — byte-identical stdout to the offline
@@ -73,6 +77,12 @@ fn main() -> ExitCode {
                 argv: args[1..].to_vec(),
             },
         ),
+        Some("scenario") => run_op(
+            connect,
+            Request::Scenario {
+                argv: args[1..].to_vec(),
+            },
+        ),
         Some("info") => local_only(connect, "info").and_then(|()| cmd_info(&args[1..])),
         Some("dump") => local_only(connect, "dump").and_then(|()| cmd_dump(&args[1..])),
         Some("bench-check") => {
@@ -81,6 +91,9 @@ fn main() -> ExitCode {
         Some("serve") => local_only(connect, "serve").and_then(|()| cmd_serve(&args[1..])),
         Some("serve-bench") => {
             local_only(connect, "serve-bench").and_then(|()| cmd_serve_bench(&args[1..]))
+        }
+        Some("tenant-bench") => {
+            local_only(connect, "tenant-bench").and_then(|()| cmd_tenant_bench(&args[1..]))
         }
         Some("status") => sync_verb(connect, Request::Status, &args[1..]),
         Some("metrics") => sync_verb(connect, Request::Metrics, &args[1..]),
@@ -124,6 +137,12 @@ usage:
                     [--jobs N] [--cache-dir D] [--exec per-event|batched] [--full-json]
                     (a (scheme x app) grid on the sweep engine; prints the
                      deterministic cells JSON on one line)
+  trace_tool scenario <file.wps> [--schemes S,...] [--jobs N]
+                    [--exec per-event|batched] [--timeline] [--check-timeline]
+                    (run a multi-tenant churn scenario under each scheme and
+                     print the one-line report JSON; --timeline appends the
+                     per-scheme tenant event JSONL, --check-timeline validates
+                     it in-process first)
   trace_tool bench-check --baseline <BENCH_*.json>... --fresh-dir <dir>
                     [--max-regress R]
                     (compare each committed baseline's \"gate\" metrics against
@@ -141,15 +160,19 @@ usage:
   trace_tool serve-bench [--out F] [--clients C] [--requests N] [--cold N]
                     (measure warm-daemon vs cold-process throughput and write
                      the BENCH_serve.json gate report)
+  trace_tool tenant-bench [--out F] [--scenario <file.wps>] [--jobs N]
+                    (run the bundled smoke scenario under the default scheme
+                     set, measure scenario events/s, and write the
+                     BENCH_tenant.json gate report)
   trace_tool status|metrics|shutdown --connect <sock>
   trace_tool cancel <job> --connect <sock>
 
-Work subcommands (record, replay, profile, sweep, obs) accept
---connect <sock> to run on a `trace_tool serve` daemon instead of
-locally; stdout is byte-identical either way.
+Work subcommands (record, replay, profile, sweep, scenario, obs)
+accept --connect <sock> to run on a `trace_tool serve` daemon instead
+of locally; stdout is byte-identical either way.
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
-         Whirlpool, Whirlpool-NoBypass
+         Whirlpool, Whirlpool-NoBypass, Memshare
 ";
 
 /// Pulls `--connect <sock>` (anywhere in the argv) out of the argument
@@ -413,6 +436,90 @@ fn cmd_serve_bench(rest: &[String]) -> Result<(), String> {
         pct(0.99),
     );
     println!("{report}");
+    Ok(())
+}
+
+/// `tenant-bench`: the scenario-engine perf gate behind `BENCH_tenant.json`.
+///
+/// Runs the bundled smoke scenario offline under the same default scheme
+/// set the `scenario` verb uses, measures wall-clock scenario events/s
+/// (arrivals, departures, admissions, waits, violations processed per
+/// second), and records each scheme's weighted speedup. The report's
+/// `gate` object carries the throughput plus the per-scheme speedups —
+/// the latter are bit-deterministic, so any drop means the engine or a
+/// scheme changed behaviour, not just got slower.
+fn cmd_tenant_bench(rest: &[String]) -> Result<(), String> {
+    use whirlpool_repro::harness::SchemeKind;
+
+    let args = Args::parse(rest, &["--out", "--scenario", "--jobs"], &[])?;
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "tenant-bench takes no positional arguments (got '{}')",
+            args.positional[0]
+        ));
+    }
+    let out = args
+        .value("--out")
+        .unwrap_or("BENCH_tenant.json")
+        .to_string();
+    let path = args.value("--scenario").unwrap_or("scenarios/smoke.wps");
+    let scenario = wp_tenant::Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+    let kinds = [
+        SchemeKind::Whirlpool,
+        SchemeKind::Memshare,
+        SchemeKind::Jigsaw,
+        SchemeKind::SNucaLru,
+    ];
+    let mut opts = wp_tenant::ScenarioOpts::default();
+    if let Some(jobs) = args.number("--jobs")? {
+        opts.jobs = Some(jobs.max(1) as usize);
+    }
+    eprintln!(
+        "tenant-bench: running '{}' ({} tenants, {} epochs) under {} schemes...",
+        scenario.name,
+        scenario.tenants.len(),
+        scenario.epochs,
+        kinds.len(),
+    );
+    let start = std::time::Instant::now();
+    let report = wp_tenant::run_scenario(&scenario, &kinds, &opts).map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let events: usize = report.schemes.iter().map(|s| s.events.len()).sum();
+    let events_per_sec = events as f64 / secs;
+
+    let mut gate = format!("\"scenario_events_per_sec\":{events_per_sec:.2}");
+    let mut speedups = String::new();
+    for s in &report.schemes {
+        gate.push_str(&format!(
+            ",\"weighted_speedup_{}\":{:.4}",
+            s.scheme.label(),
+            s.weighted_speedup
+        ));
+        if !speedups.is_empty() {
+            speedups.push(',');
+        }
+        speedups.push_str(&format!(
+            "{{\"scheme\":\"{}\",\"weighted_speedup\":{:.4},\"jain_fairness\":{:.4}}}",
+            s.scheme.label(),
+            s.weighted_speedup,
+            s.jain_fairness
+        ));
+    }
+    let report_json = format!(
+        "{{\"bench\":\"tenant\",\"scenario\":\"{}\",\"tenants\":{},\"epochs\":{},\
+         \"schemes\":[{speedups}],\
+         \"events\":{events},\"secs\":{secs:.3},\
+         \"gate\":{{{gate}}}}}",
+        scenario.name,
+        scenario.tenants.len(),
+        scenario.epochs,
+    );
+    std::fs::write(&out, format!("{report_json}\n"))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "tenant-bench: {events} events in {secs:.2}s ({events_per_sec:.1} events/s) -> {out}"
+    );
+    println!("{report_json}");
     Ok(())
 }
 

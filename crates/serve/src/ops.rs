@@ -63,6 +63,7 @@ pub fn run_request(req: &Request, ctx: &OpCtx) -> Result<Vec<String>, String> {
         },
         Request::Profile { argv } => profile(argv, ctx),
         Request::Sweep { argv } => sweep(argv, ctx),
+        Request::Scenario { argv } => scenario(argv, ctx),
         _ => Err(format!("'{}' is not a queued work verb", req.verb())),
     }
 }
@@ -847,4 +848,77 @@ pub fn sweep(rest: &[String], ctx: &OpCtx) -> Result<Vec<String>, String> {
     } else {
         result.cells_json()
     }])
+}
+
+/// `scenario <file.wps> [--schemes a,b,...] [--jobs N] [--exec MODE]
+/// [--timeline] [--check-timeline]` — run a multi-tenant scenario under
+/// every requested scheme and emit one deterministic report line, plus
+/// (with `--timeline`) the tenant-event JSONL.
+///
+/// The default scheme set is the multi-tenant headline comparison:
+/// Whirlpool, Memshare, Jigsaw, and S-NUCA (LRU). Scenario runs never
+/// touch the trace cache (alone baselines are live single-entry mixes),
+/// so the op behaves identically offline and in the daemon.
+///
+/// # Errors
+///
+/// One line: unreadable/malformed `.wps` files, unknown schemes, or any
+/// harness error from the underlying runs.
+pub fn scenario(rest: &[String], ctx: &OpCtx) -> Result<Vec<String>, String> {
+    let args = Args::parse(
+        rest,
+        &["--schemes", "--jobs", "--exec"],
+        &["--timeline", "--check-timeline"],
+    )?;
+    let path = match args.positional.as_slice() {
+        [p] => Path::new(p),
+        [] => return Err("scenario needs a .wps file".into()),
+        more => {
+            return Err(format!(
+                "scenario takes one .wps file (got '{}' too)",
+                more[1]
+            ))
+        }
+    };
+    let sc = wp_tenant::Scenario::load(path).map_err(|e| e.to_string())?;
+    let schemes: Vec<SchemeKind> = match args.value("--schemes") {
+        None => vec![
+            SchemeKind::Whirlpool,
+            SchemeKind::Memshare,
+            SchemeKind::Jigsaw,
+            SchemeKind::SNucaLru,
+        ],
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(parse_scheme)
+            .collect::<Result<_, _>>()?,
+    };
+    if schemes.is_empty() {
+        return Err("--schemes lists no schemes".into());
+    }
+    let mut opts = wp_tenant::ScenarioOpts {
+        cancel: ctx.cancel.clone(),
+        ..Default::default()
+    };
+    if let Some(j) = args.number("--jobs")? {
+        opts.jobs = Some(j.max(1) as usize);
+    }
+    if let Some(exec) = args.value("--exec") {
+        opts.exec = Some(
+            exec.parse()
+                .map_err(|_| format!("--exec expects 'per-event' or 'batched', got '{exec}'"))?,
+        );
+    }
+    let report = wp_tenant::run_scenario(&sc, &schemes, &opts).map_err(|e| e.to_string())?;
+    let timeline = report.timeline_jsonl();
+    if args.flag("--check-timeline") {
+        wp_tenant::validate_timeline(&timeline)
+            .map_err(|e| format!("timeline validation failed: {e}"))?;
+    }
+    let mut lines = vec![report.to_json()];
+    if args.flag("--timeline") {
+        lines.extend(timeline.lines().map(str::to_string));
+    }
+    Ok(lines)
 }

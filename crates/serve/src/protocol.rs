@@ -12,6 +12,7 @@
 //! {"verb":"experiment","op":"record|replay|obs","argv":[...]}
 //! {"verb":"profile","argv":[...]}
 //! {"verb":"sweep","argv":[...]}
+//! {"verb":"scenario","argv":[...]}
 //! {"verb":"status"}
 //! {"verb":"metrics"}
 //! {"verb":"cancel","job":N}
@@ -83,6 +84,11 @@ pub enum Request {
         /// The offline subcommand's argument vector, verbatim.
         argv: Vec<String>,
     },
+    /// A queued multi-tenant scenario (`trace_tool scenario` argv).
+    Scenario {
+        /// The offline subcommand's argument vector, verbatim.
+        argv: Vec<String>,
+    },
     /// Synchronous: queue depth, job table, store occupancy.
     Status,
     /// Synchronous: the `wp_obs` registry snapshot.
@@ -103,6 +109,7 @@ impl Request {
             Request::Experiment { op, .. } => format!("experiment:{}", op.label()),
             Request::Profile { .. } => "profile".into(),
             Request::Sweep { .. } => "sweep".into(),
+            Request::Scenario { .. } => "scenario".into(),
             Request::Status => "status".into(),
             Request::Metrics => "metrics".into(),
             Request::Cancel { .. } => "cancel".into(),
@@ -115,7 +122,10 @@ impl Request {
     pub fn is_work(&self) -> bool {
         matches!(
             self,
-            Request::Experiment { .. } | Request::Profile { .. } | Request::Sweep { .. }
+            Request::Experiment { .. }
+                | Request::Profile { .. }
+                | Request::Sweep { .. }
+                | Request::Scenario { .. }
         )
     }
 
@@ -136,6 +146,9 @@ impl Request {
             }
             Request::Sweep { argv } => {
                 format!("{{\"verb\":\"sweep\",\"argv\":{}}}", argv_json(argv))
+            }
+            Request::Scenario { argv } => {
+                format!("{{\"verb\":\"scenario\",\"argv\":{}}}", argv_json(argv))
             }
             Request::Status => "{\"verb\":\"status\"}".into(),
             Request::Metrics => "{\"verb\":\"metrics\"}".into(),
@@ -184,6 +197,7 @@ impl Request {
             }
             "profile" => Ok(Request::Profile { argv: argv()? }),
             "sweep" => Ok(Request::Sweep { argv: argv()? }),
+            "scenario" => Ok(Request::Scenario { argv: argv()? }),
             "status" => Ok(Request::Status),
             "metrics" => Ok(Request::Metrics),
             "cancel" => {
@@ -196,7 +210,7 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown verb '{other}' (expected experiment, profile, sweep, \
-                 status, metrics, cancel, or shutdown)"
+                 scenario, status, metrics, cancel, or shutdown)"
             )),
         }
     }
@@ -244,6 +258,13 @@ mod tests {
                 argv: vec!["/tmp/with \"quotes\"\n.wpt".into()],
             },
             Request::Sweep { argv: vec![] },
+            Request::Scenario {
+                argv: vec![
+                    "scenarios/smoke.wps".into(),
+                    "--schemes".into(),
+                    "Memshare".into(),
+                ],
+            },
             Request::Status,
             Request::Metrics,
             Request::Cancel { job: 42 },

@@ -15,6 +15,11 @@
 //!   `wp_obs::Counter::{CurveStoreHits, CurveStoreMisses}`.
 //! * **Result log** — one JSON line per finished job, appended to
 //!   `results.jsonl` in the state directory and flushed on shutdown.
+//!   When the log crosses its size limit (16 MiB by default) it is
+//!   rotated: the current file is atomically renamed to
+//!   `results.jsonl.1` and a fresh `results.jsonl` is opened, so a
+//!   long-lived daemon's log stays bounded at two generations and no
+//!   record is ever lost or duplicated across the boundary.
 
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
@@ -22,6 +27,21 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use wp_bench::store::TraceStore;
+
+/// Default result-log size limit before rotation kicks in.
+const DEFAULT_LOG_LIMIT: u64 = 16 * 1024 * 1024;
+
+/// The open result log plus the byte count that triggers rotation.
+/// One struct behind one mutex so the append and the size check can
+/// never race each other.
+#[derive(Debug)]
+struct LogState {
+    writer: std::io::BufWriter<std::fs::File>,
+    /// Bytes written to the *current* generation, seeded from the file's
+    /// length at open so a restarted daemon keeps honoring the limit.
+    bytes: u64,
+    limit: u64,
+}
 
 /// The resident store. Shared across the listener, dispatcher, and ops
 /// layers as an `Arc<ServeStore>`; every interior field carries its own
@@ -31,7 +51,7 @@ pub struct ServeStore {
     cache_dir: PathBuf,
     warm: Mutex<HashSet<String>>,
     curves: Mutex<HashMap<String, Arc<String>>>,
-    log: Mutex<std::io::BufWriter<std::fs::File>>,
+    log: Mutex<LogState>,
     log_path: PathBuf,
 }
 
@@ -67,11 +87,16 @@ impl ServeStore {
             .append(true)
             .open(&log_path)
             .map_err(|e| format!("cannot open result log {}: {e}", log_path.display()))?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(Self {
             cache_dir,
             warm: Mutex::new(warm),
             curves: Mutex::new(HashMap::new()),
-            log: Mutex::new(std::io::BufWriter::new(file)),
+            log: Mutex::new(LogState {
+                writer: std::io::BufWriter::new(file),
+                bytes,
+                limit: DEFAULT_LOG_LIMIT,
+            }),
             log_path,
         })
     }
@@ -131,15 +156,62 @@ impl ServeStore {
             .insert(key, Arc::new(payload));
     }
 
-    /// Appends one line to the result log (newline added here).
+    /// Appends one line to the result log (newline added here), rotating
+    /// the log first if this line would push the current generation past
+    /// its size limit — so every line lands wholly in one generation and
+    /// the union of `results.jsonl` and `results.jsonl.1` holds each
+    /// record exactly once.
     pub fn log_line(&self, line: &str) {
         let mut log = self.log.lock().expect("result log");
-        let _ = writeln!(log, "{line}");
+        let incoming = line.len() as u64 + 1;
+        if log.bytes > 0 && log.bytes + incoming > log.limit {
+            self.rotate(&mut log);
+        }
+        let _ = writeln!(log.writer, "{line}");
+        log.bytes += incoming;
+    }
+
+    /// Lowers (or raises) the rotation limit — tests use a tiny limit to
+    /// exercise rotation without writing megabytes.
+    pub fn set_log_limit(&self, bytes: u64) {
+        self.log.lock().expect("result log").limit = bytes.max(1);
+    }
+
+    /// Rotates the result log: flush, atomically rename the current file
+    /// to `results.jsonl.1` (replacing any previous rotation), reopen a
+    /// fresh `results.jsonl`. Every step degrades safely: if the flush or
+    /// rename fails the current generation just keeps growing; if the
+    /// reopen fails the old handle still points at the renamed file, so
+    /// records are never dropped either way.
+    fn rotate(&self, log: &mut LogState) {
+        if log.writer.flush().is_err() {
+            return;
+        }
+        let rotated = self.log_path.with_extension("jsonl.1");
+        if std::fs::rename(&self.log_path, &rotated).is_err() {
+            return;
+        }
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.log_path)
+        {
+            Ok(file) => {
+                log.writer = std::io::BufWriter::new(file);
+                log.bytes = 0;
+            }
+            Err(_) => {
+                // Keep appending through the old handle (now pointing at
+                // the rotated file); reset the counter so we don't retry
+                // the rename on every line.
+                log.bytes = 0;
+            }
+        }
     }
 
     /// Flushes the result log (shutdown path).
     pub fn flush(&self) {
-        let _ = self.log.lock().expect("result log").flush();
+        let _ = self.log.lock().expect("result log").writer.flush();
     }
 }
 
@@ -194,6 +266,52 @@ mod tests {
         std::fs::write(cache.join("c-w1-m2.wpt"), b"x").unwrap();
         assert!(store.contains("c-w1-m2"));
         assert_eq!(store.warm_traces(), 2);
+        let _ = std::fs::remove_dir_all(cache.parent().unwrap());
+    }
+
+    #[test]
+    fn log_rotation_keeps_every_record_exactly_once() {
+        let (cache, state) = tmp_dirs("rotate");
+        let store = ServeStore::open(&cache, &state).unwrap();
+        // Each record is 39 bytes + newline; with a 400-byte limit the
+        // log rotates exactly once over 12 records, and the run stays
+        // well short of a second rotation (480 < 800).
+        store.set_log_limit(400);
+        let records: Vec<String> = (0..12)
+            .map(|i| format!("{{\"type\":\"result\",\"job\":{i:02},\"lines\":0007}}"))
+            .collect();
+        for r in &records {
+            assert_eq!(r.len(), 39, "fixed-width records keep the math exact");
+            store.log_line(r);
+        }
+        store.flush();
+        let current = std::fs::read_to_string(state.join("results.jsonl")).unwrap();
+        let rotated = std::fs::read_to_string(state.join("results.jsonl.1")).unwrap();
+        assert!(!current.is_empty() && !rotated.is_empty());
+        let mut seen: Vec<&str> = rotated.lines().chain(current.lines()).collect();
+        assert_eq!(
+            seen,
+            records.iter().map(String::as_str).collect::<Vec<_>>(),
+            "rotated-then-current must replay the exact append order"
+        );
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), records.len(), "no record dropped or duplicated");
+        // A reopened store seeds its byte count from the surviving file.
+        drop(store);
+        let store = ServeStore::open(&cache, &state).unwrap();
+        store.set_log_limit(400);
+        for r in &records {
+            store.log_line(r);
+        }
+        store.flush();
+        let current = std::fs::read_to_string(state.join("results.jsonl")).unwrap();
+        let rotated = std::fs::read_to_string(state.join("results.jsonl.1")).unwrap();
+        assert_eq!(
+            current.lines().count() + rotated.lines().count(),
+            records.len() + 2,
+            "the second generation rotates against the seeded byte count"
+        );
         let _ = std::fs::remove_dir_all(cache.parent().unwrap());
     }
 

@@ -75,6 +75,60 @@ fn cli_colliding_trace_mix_exits_nonzero() {
     std::fs::remove_file(&path).unwrap();
 }
 
+fn temp_wps(tag: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("wp-cli-errors-{}-{tag}.wps", std::process::id()));
+    std::fs::write(&path, body).expect("write scenario");
+    path
+}
+
+#[test]
+fn cli_malformed_scenario_exits_nonzero_one_line() {
+    let path = temp_wps("truncated", "{\"name\":\"x\",\"cores\":4");
+    let (ok, err) = trace_tool(&["scenario", path.to_str().unwrap()]);
+    assert!(!ok, "must exit non-zero");
+    let lines: Vec<&str> = err.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 1, "one-line message, no usage dump: {err}");
+    assert!(lines[0].starts_with("trace_tool: scenario error:"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cli_scenario_unknown_app_keeps_the_suggestion_contract() {
+    let path = temp_wps(
+        "badapp",
+        r#"{"name":"x","seed":1,"cores":4,"epochs":2,"epoch_instrs":1000,
+            "tenants":[{"name":"a","app":"delauny"}]}"#,
+    );
+    let (ok, err) = trace_tool(&["scenario", path.to_str().unwrap()]);
+    assert!(!ok, "must exit non-zero");
+    assert!(err.contains("unknown app 'delauny'"), "{err}");
+    assert!(err.contains("did you mean 'delaunay'"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cli_missing_scenario_file_exits_nonzero_one_line() {
+    let (ok, err) = trace_tool(&["scenario", "/nonexistent/x.wps"]);
+    assert!(!ok, "must exit non-zero");
+    let lines: Vec<&str> = err.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 1, "one-line message: {err}");
+    assert!(lines[0].contains("cannot read scenario"), "{err}");
+}
+
+#[test]
+fn cli_scenario_unknown_scheme_exits_nonzero_with_suggestion() {
+    let path = temp_wps(
+        "badscheme",
+        r#"{"name":"x","seed":1,"cores":4,"epochs":2,"epoch_instrs":1000,
+            "tenants":[{"name":"a","app":"mcf"}]}"#,
+    );
+    let (ok, err) = trace_tool(&["scenario", path.to_str().unwrap(), "--schemes", "Memshar"]);
+    assert!(!ok, "must exit non-zero");
+    assert!(err.contains("unknown scheme 'Memshar'"), "{err}");
+    assert!(err.contains("did you mean 'Memshare'"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn cli_connect_without_daemon_exits_nonzero_with_hint() {
     let (ok, err) = trace_tool(&[

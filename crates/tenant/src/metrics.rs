@@ -1,0 +1,215 @@
+//! Tenant-level metrics reported alongside the repo's gmean speedup:
+//! weighted speedup, Jain fairness, and SLO-violation time fraction.
+//!
+//! Every helper returns a typed [`MetricError`] on degenerate input
+//! (empty tenant sets, zero weight sums, all-zero progress) instead of
+//! `NaN` or a panic — the same contract the PR 3 `gmean` fix
+//! established for the figure pipeline.
+
+/// A degenerate metric input, rendered as one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// No tenants to aggregate over.
+    EmptyTenantSet,
+    /// Parallel slices (progress vs. weights, violations vs. residency)
+    /// disagree in length.
+    MismatchedLengths {
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+    /// Weights sum to zero (or are not finite), so the weighted mean is
+    /// undefined.
+    NonPositiveWeightSum,
+    /// Every tenant made zero progress; fairness over all-zero shares is
+    /// undefined.
+    ZeroProgress,
+    /// No tenant was ever resident, so a time fraction is undefined.
+    NoResidentEpochs,
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::EmptyTenantSet => write!(f, "metric over an empty tenant set"),
+            MetricError::MismatchedLengths { left, right } => {
+                write!(f, "metric inputs disagree in length ({left} vs {right})")
+            }
+            MetricError::NonPositiveWeightSum => {
+                write!(f, "tenant weights must sum to a positive finite value")
+            }
+            MetricError::ZeroProgress => {
+                write!(
+                    f,
+                    "fairness is undefined when every tenant made zero progress"
+                )
+            }
+            MetricError::NoResidentEpochs => {
+                write!(
+                    f,
+                    "SLO violation fraction is undefined with no resident epochs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// Weighted speedup: `n · Σ(wᵢ·xᵢ) / Σwᵢ`, where `xᵢ` is tenant *i*'s
+/// normalized progress (shared IPC over alone IPC). With equal weights
+/// this reduces to the classic system-throughput `Σxᵢ`.
+///
+/// # Errors
+///
+/// [`MetricError::EmptyTenantSet`] on empty input,
+/// [`MetricError::MismatchedLengths`] when the slices disagree, and
+/// [`MetricError::NonPositiveWeightSum`] when the weights cannot
+/// normalize a mean.
+pub fn weighted_speedup(progress: &[f64], weights: &[f64]) -> Result<f64, MetricError> {
+    if progress.is_empty() {
+        return Err(MetricError::EmptyTenantSet);
+    }
+    if progress.len() != weights.len() {
+        return Err(MetricError::MismatchedLengths {
+            left: progress.len(),
+            right: weights.len(),
+        });
+    }
+    let weight_sum: f64 = weights.iter().sum();
+    // `is_finite` also rejects NaN, so `<= 0.0` covers the rest.
+    if weight_sum <= 0.0 || !weight_sum.is_finite() {
+        return Err(MetricError::NonPositiveWeightSum);
+    }
+    let weighted: f64 = progress.iter().zip(weights).map(|(x, w)| x * w).sum();
+    Ok(progress.len() as f64 * weighted / weight_sum)
+}
+
+/// Jain's fairness index over normalized progress: `(Σx)² / (n·Σx²)`.
+/// 1 when every tenant progresses equally; `1/n` when one tenant
+/// monopolizes the system.
+///
+/// # Errors
+///
+/// [`MetricError::EmptyTenantSet`] on empty input and
+/// [`MetricError::ZeroProgress`] when every share is zero (the index
+/// would be `0/0`).
+pub fn jain_index(progress: &[f64]) -> Result<f64, MetricError> {
+    if progress.is_empty() {
+        return Err(MetricError::EmptyTenantSet);
+    }
+    let sum: f64 = progress.iter().sum();
+    let sum_sq: f64 = progress.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return Err(MetricError::ZeroProgress);
+    }
+    Ok(sum * sum / (progress.len() as f64 * sum_sq))
+}
+
+/// SLO-violation time fraction: total violating tenant-epochs over
+/// total resident tenant-epochs, across the tenants that declare an
+/// SLO. Waiting epochs (resident but not admitted) count as violations
+/// upstream, so a starved tenant shows up here rather than vanishing.
+///
+/// # Errors
+///
+/// [`MetricError::EmptyTenantSet`] when no tenant declares an SLO,
+/// [`MetricError::MismatchedLengths`] when the slices disagree, and
+/// [`MetricError::NoResidentEpochs`] when the denominator is zero.
+pub fn slo_violation_fraction(violating: &[u64], resident: &[u64]) -> Result<f64, MetricError> {
+    if violating.is_empty() {
+        return Err(MetricError::EmptyTenantSet);
+    }
+    if violating.len() != resident.len() {
+        return Err(MetricError::MismatchedLengths {
+            left: violating.len(),
+            right: resident.len(),
+        });
+    }
+    let total: u64 = resident.iter().sum();
+    if total == 0 {
+        return Err(MetricError::NoResidentEpochs);
+    }
+    let bad: u64 = violating.iter().sum();
+    Ok(bad as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tenant_sets_are_typed_errors_not_nan() {
+        assert_eq!(weighted_speedup(&[], &[]), Err(MetricError::EmptyTenantSet));
+        assert_eq!(jain_index(&[]), Err(MetricError::EmptyTenantSet));
+        assert_eq!(
+            slo_violation_fraction(&[], &[]),
+            Err(MetricError::EmptyTenantSet)
+        );
+        for e in [
+            MetricError::EmptyTenantSet,
+            MetricError::MismatchedLengths { left: 2, right: 3 },
+            MetricError::NonPositiveWeightSum,
+            MetricError::ZeroProgress,
+            MetricError::NoResidentEpochs,
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_reduces_to_throughput_for_equal_weights() {
+        let x = [0.5, 1.0, 0.25];
+        let ws = weighted_speedup(&x, &[1.0, 1.0, 1.0]).unwrap();
+        assert!((ws - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_favors_heavy_tenants() {
+        let x = [1.0, 0.1];
+        let even = weighted_speedup(&x, &[1.0, 1.0]).unwrap();
+        let skewed = weighted_speedup(&x, &[10.0, 1.0]).unwrap();
+        assert!(skewed > even);
+    }
+
+    #[test]
+    fn weighted_speedup_degenerate_weights() {
+        assert_eq!(
+            weighted_speedup(&[1.0], &[1.0, 2.0]),
+            Err(MetricError::MismatchedLengths { left: 1, right: 2 })
+        );
+        assert_eq!(
+            weighted_speedup(&[1.0, 1.0], &[0.0, 0.0]),
+            Err(MetricError::NonPositiveWeightSum)
+        );
+        assert_eq!(
+            weighted_speedup(&[1.0], &[f64::INFINITY]),
+            Err(MetricError::NonPositiveWeightSum)
+        );
+    }
+
+    #[test]
+    fn jain_bounds() {
+        let even = jain_index(&[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert!((even - 1.0).abs() < 1e-12);
+        let mono = jain_index(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((mono - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[0.0, 0.0]), Err(MetricError::ZeroProgress));
+    }
+
+    #[test]
+    fn slo_fraction_counts_epochs() {
+        let f = slo_violation_fraction(&[1, 0, 3], &[4, 4, 4]).unwrap();
+        assert!((f - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(
+            slo_violation_fraction(&[0], &[0]),
+            Err(MetricError::NoResidentEpochs)
+        );
+        assert_eq!(
+            slo_violation_fraction(&[1, 2], &[4]),
+            Err(MetricError::MismatchedLengths { left: 2, right: 1 })
+        );
+    }
+}

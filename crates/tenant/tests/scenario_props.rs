@@ -1,0 +1,109 @@
+//! Property tests: every malformed `.wps` document surfaces as a
+//! one-line typed [`HarnessError`] — never a panic, never a multi-line
+//! dump — whatever the corruption.
+
+use proptest::prelude::*;
+use whirlpool_repro::harness::HarnessError;
+use wp_tenant::Scenario;
+
+fn base_doc(seed: u64, epochs: u64) -> String {
+    format!(
+        r#"{{"name":"prop","seed":{seed},"cores":4,"epochs":{epochs},"epoch_instrs":50000,
+            "tenants":[{{"name":"a","app":"mcf"}},{{"name":"b","app":"delaunay"}}]}}"#
+    )
+}
+
+/// The error contract every defect must satisfy.
+fn assert_one_line_typed(res: Result<Scenario, HarnessError>) {
+    match res {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "error must render something");
+            assert!(!msg.contains('\n'), "one line, got {msg:?}");
+            assert!(
+                matches!(
+                    e,
+                    HarnessError::Scenario(_) | HarnessError::UnknownApp { .. }
+                ),
+                "scenario defects must be Scenario or UnknownApp, got {e:?}"
+            );
+        }
+        Ok(s) => panic!("malformed scenario parsed: {s:?}"),
+    }
+}
+
+proptest! {
+    /// Truncating a valid document anywhere never panics: it either
+    /// still errors (almost always) with one line, or cannot succeed.
+    #[test]
+    fn truncated_json_is_a_one_line_error(seed in 0u64..1000, cut in 1usize..120) {
+        let doc = base_doc(seed, 8);
+        let cut = cut.min(doc.len() - 1);
+        // Cut at a char boundary (the doc is ASCII, so every byte is one).
+        let truncated = &doc[..cut];
+        assert_one_line_typed(Scenario::from_json_str(truncated));
+    }
+
+    /// Negative or fractional times are rejected with a message naming
+    /// the offending value.
+    #[test]
+    fn bad_times_are_rejected(arrival in -50i64..-1, dep in 0i64..50) {
+        let doc = format!(
+            r#"{{"name":"p","seed":1,"cores":4,"epochs":8,"epoch_instrs":1000,
+                "tenants":[{{"name":"a","app":"mcf","arrival":{arrival},"departure":{dep}}}]}}"#
+        );
+        match Scenario::from_json_str(&doc) {
+            Err(HarnessError::Scenario(msg)) => {
+                prop_assert!(msg.contains("non-negative"), "{msg:?}");
+                prop_assert!(!msg.contains('\n'));
+            }
+            other => prop_assert!(false, "expected Scenario error, got {other:?}"),
+        }
+    }
+
+    /// Inverted or out-of-range residency windows are rejected.
+    #[test]
+    fn inconsistent_windows_are_rejected(a in 0u64..20, d in 0u64..40, epochs in 1u64..16) {
+        let doc = format!(
+            r#"{{"name":"p","seed":1,"cores":4,"epochs":{epochs},"epoch_instrs":1000,
+                "tenants":[{{"name":"a","app":"mcf","arrival":{a},"departure":{d}}}]}}"#
+        );
+        let res = Scenario::from_json_str(&doc);
+        if d > a && d <= epochs {
+            let s = res.expect("valid window must parse");
+            prop_assert_eq!((s.tenants[0].arrival, s.tenants[0].departure), (a, d));
+        } else {
+            assert_one_line_typed(res);
+        }
+    }
+
+    /// Unknown apps keep the registry's did-you-mean contract whatever
+    /// the rest of the document looks like.
+    #[test]
+    fn unknown_apps_are_unknown_app_errors(seed in 0u64..1000, suffix in 0u32..100) {
+        let doc = base_doc(seed, 4).replace("mcf", &format!("app{suffix}"));
+        match Scenario::from_json_str(&doc) {
+            Err(HarnessError::UnknownApp { name, .. }) => {
+                prop_assert_eq!(name, format!("app{suffix}"));
+            }
+            other => prop_assert!(false, "expected UnknownApp, got {other:?}"),
+        }
+    }
+
+    /// Synthesized churn windows are always within bounds and a pure
+    /// function of (seed, index, epochs).
+    #[test]
+    fn synthesized_churn_is_bounded_and_deterministic(seed in 0u64..10_000, epochs in 1u64..64) {
+        let doc = format!(
+            r#"{{"name":"p","seed":{seed},"cores":4,"epochs":{epochs},"epoch_instrs":1000,
+                "tenants":[{{"name":"a","app":"mcf"}},{{"name":"b","app":"lbm"}}]}}"#
+        );
+        let s1 = Scenario::from_json_str(&doc).expect("parses");
+        let s2 = Scenario::from_json_str(&doc).expect("parses");
+        prop_assert_eq!(&s1, &s2);
+        for t in &s1.tenants {
+            prop_assert!(t.arrival < t.departure);
+            prop_assert!(t.departure <= epochs);
+        }
+    }
+}

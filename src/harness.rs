@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use whirlpool::WhirlpoolScheme;
-use wp_baselines::{AwasthiParams, AwasthiScheme, IdealSpdScheme, SNucaScheme, SnucaReplacement};
+use wp_baselines::{
+    AwasthiParams, AwasthiScheme, IdealSpdScheme, MemshareScheme, SNucaScheme, SnucaReplacement,
+};
 use wp_jigsaw::JigsawScheme;
 use wp_mem::{CallpointId, PageId, LINES_PER_PAGE};
 use wp_noc::CoreId;
@@ -81,6 +83,10 @@ pub enum HarnessError {
     /// A trace file failed to open, read, or validate (missing,
     /// truncated, corrupt, or capture I/O).
     Trace(TraceError),
+    /// A multi-tenant scenario (`.wps`) failed to parse or validate:
+    /// malformed JSON, missing/ill-typed fields, negative times, or an
+    /// inconsistent tenant set.
+    Scenario(String),
     /// The run's [`CancelToken`] fired before or between its cooperative
     /// checkpoints; no result was produced.
     Cancelled,
@@ -127,6 +133,7 @@ impl std::fmt::Display for HarnessError {
                  in separate runs"
             ),
             HarnessError::Trace(e) => write!(f, "{e}"),
+            HarnessError::Scenario(msg) => write!(f, "scenario error: {msg}"),
             HarnessError::Cancelled => write!(f, "cancelled before completion"),
         }
     }
@@ -281,6 +288,9 @@ pub enum SchemeKind {
     Whirlpool,
     /// Whirlpool without bypassing (ablation).
     WhirlpoolNoBypass,
+    /// Memshare-style greedy marginal-benefit capacity apportioning
+    /// (the multi-tenant baseline).
+    Memshare,
 }
 
 impl SchemeKind {
@@ -295,7 +305,7 @@ impl SchemeKind {
     ];
 
     /// Every evaluated scheme, including the bypass ablations.
-    pub const ALL: [SchemeKind; 8] = [
+    pub const ALL: [SchemeKind; 9] = [
         SchemeKind::SNucaLru,
         SchemeKind::SNucaDrrip,
         SchemeKind::IdealSpd,
@@ -304,6 +314,7 @@ impl SchemeKind {
         SchemeKind::JigsawNoBypass,
         SchemeKind::Whirlpool,
         SchemeKind::WhirlpoolNoBypass,
+        SchemeKind::Memshare,
     ];
 
     /// Parses a scheme name: the figure labels of [`label`](Self::label)
@@ -352,6 +363,7 @@ impl SchemeKind {
             SchemeKind::JigsawNoBypass => "Jigsaw-NoBypass",
             SchemeKind::Whirlpool => "Whirlpool",
             SchemeKind::WhirlpoolNoBypass => "Whirlpool-NoBypass",
+            SchemeKind::Memshare => "Memshare",
         }
     }
 
@@ -383,6 +395,7 @@ pub fn make_scheme(kind: SchemeKind, sys: &SystemConfig) -> Box<dyn LlcScheme> {
         SchemeKind::JigsawNoBypass => Box::new(JigsawScheme::without_bypass(sys.clone())),
         SchemeKind::Whirlpool => Box::new(WhirlpoolScheme::new(sys.clone())),
         SchemeKind::WhirlpoolNoBypass => Box::new(WhirlpoolScheme::without_bypass(sys.clone())),
+        SchemeKind::Memshare => Box::new(MemshareScheme::new(sys)),
     }
 }
 
@@ -1809,6 +1822,7 @@ mod tests {
                 app_b: "b".into(),
             },
             HarnessError::Trace(TraceError::BadMagic),
+            HarnessError::Scenario("tenant 'a' departs before it arrives".into()),
         ] {
             let msg = e.to_string();
             assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");

@@ -152,6 +152,51 @@ fn served_replay_and_profile_match_offline_byte_for_byte() {
 }
 
 #[test]
+fn served_scenario_matches_offline_byte_for_byte() {
+    let daemon = Daemon::start("scenario", 2);
+    let wps = daemon.base.join("mini.wps");
+    std::fs::write(
+        &wps,
+        r#"{"name":"mini","seed":11,"cores":4,"epochs":3,"epoch_instrs":30000,
+            "warmup_instrs":5000,
+            "tenants":[{"name":"a","app":"mcf"},{"name":"b","app":"delaunay"},
+                       {"name":"c","app":"lbm","arrival":1,"departure":3}]}"#,
+    )
+    .expect("write scenario");
+    let argv = strs(&[
+        wps.to_str().unwrap(),
+        "--schemes",
+        "Whirlpool,Memshare",
+        "--timeline",
+        "--check-timeline",
+    ]);
+    let offline = ops::run_request(&Request::Scenario { argv: argv.clone() }, &OpCtx::offline())
+        .expect("offline scenario");
+    let served = daemon
+        .client()
+        .run(&Request::Scenario { argv })
+        .expect("served scenario");
+    assert_eq!(served.lines, offline, "scenario bytes diverged");
+    assert!(
+        offline.len() > 1,
+        "--timeline must append event lines after the report"
+    );
+
+    // A malformed scenario over the wire surfaces as a one-line typed
+    // error frame — the daemon stays up and keeps the connection usable.
+    let bad = daemon.base.join("bad.wps");
+    std::fs::write(&bad, "{\"name\":\"x\",\"cores\":4").expect("write bad scenario");
+    let err = daemon
+        .client()
+        .run(&Request::Scenario {
+            argv: strs(&[bad.to_str().unwrap()]),
+        })
+        .expect_err("malformed scenario must error");
+    assert!(!err.contains('\n'), "one-line message: {err:?}");
+    assert!(err.contains("scenario"), "names the failing layer: {err}");
+}
+
+#[test]
 fn cancellation_mid_sweep_leaves_the_store_serving() {
     let daemon = Daemon::start("cancel", 1);
     // A sweep big enough that cancellation lands mid-flight: 4 captures
