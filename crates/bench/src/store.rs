@@ -44,6 +44,15 @@ pub trait TraceStore: Send + Sync + std::fmt::Debug {
     /// renamed to [`path`](Self::path)). Stateless stores ignore this;
     /// resident stores update their warm index.
     fn note_captured(&self, key: &str);
+
+    /// Drops `key`'s capture: removes the `.wpt` from disk and (for
+    /// resident stores) the warm-index entry, so the next
+    /// [`contains`](Self::contains) is a miss and the engine re-captures.
+    /// The sweep's self-healing path calls this when a cached capture
+    /// turns out corrupt (CRC/length mismatch) mid-replay.
+    fn evict(&self, key: &str) {
+        let _ = std::fs::remove_file(self.path(key));
+    }
 }
 
 /// The capture key for `(app, warmup, measure)`: the budgets are the

@@ -364,6 +364,17 @@ impl SweepSpec {
         let progress = progress_enabled();
         let sweep_start = Instant::now();
         let summaries = parallel_map(self.jobs, total, |i| {
+            // Worker fault probes, before the cancel check so an
+            // injected stall composes with a wall-clock deadline the
+            // way a genuinely slow cell would.
+            if wp_fault::fire(wp_fault::FaultPoint::WorkerPanic).is_some() {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                panic!("injected worker fault");
+            }
+            if let Some(shot) = wp_fault::fire(wp_fault::FaultPoint::WorkerSlow) {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                std::thread::sleep(std::time::Duration::from_millis(shot.millis));
+            }
             if let Some(tok) = &self.cancel {
                 tok.check()?;
             }
@@ -465,19 +476,66 @@ impl SweepSpec {
                 // so per-cell classifications (Fig. 16's WhirlTool
                 // 2/3/4-pool variants) replay against the same stream.
                 let (w, m) = self.budgets_for(app);
-                let model = AppModel::new(registry::spec(app));
-                let pools = descriptors_for(&model, app, *classification);
-                let bundle = WorkloadBundle {
-                    trace: Box::new(TraceWorkload::open(&store.path(&capture_key(app, w, m)))?),
-                    pools,
-                    name: app.clone(),
+                let key = capture_key(app, w, m);
+                let path_str = store.path(&key).display().to_string();
+                let attempt = || -> Result<RunSummary, HarnessError> {
+                    // Corruption past the header panics mid-replay (the
+                    // `Workload` trait has no error channel), so the
+                    // attempt catches unwinds and types them — the heal
+                    // check below recognizes the ones naming this
+                    // capture's path.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || -> Result<RunSummary, HarnessError> {
+                            let model = AppModel::new(registry::spec(app));
+                            let pools = descriptors_for(&model, app, *classification);
+                            let bundle = WorkloadBundle {
+                                trace: Box::new(TraceWorkload::open(&store.path(&key))?),
+                                pools,
+                                name: app.clone(),
+                            };
+                            self.apply_exec(
+                                Experiment::bundles(cell.scheme, vec![bundle])
+                                    .warmup(w)
+                                    .measure(m),
+                            )
+                            .run()
+                        },
+                    ))
+                    .unwrap_or_else(|payload| {
+                        Err(HarnessError::Panic(
+                            whirlpool_repro::harness::panic_message(payload),
+                        ))
+                    })
                 };
-                self.apply_exec(
-                    Experiment::bundles(cell.scheme, vec![bundle])
-                        .warmup(w)
-                        .measure(m),
-                )
-                .run()
+                // Healable: a typed trace error (failed open/validate),
+                // or a replay panic that names this capture's file —
+                // any other panic (e.g. an injected worker fault) is
+                // not the cache's doing and must surface as-is.
+                let healable = |err: &HarnessError| match err {
+                    HarnessError::Trace(_) => true,
+                    HarnessError::Panic(msg) => msg.contains(&path_str),
+                    _ => false,
+                };
+                match attempt() {
+                    // Self-healing: a cached capture that fails to open
+                    // or validate (truncated, bit-flipped, vanished) is
+                    // evicted and re-captured once, then the cell
+                    // retries — the stream is deterministic, so the
+                    // healed output is byte-identical to a clean-cache
+                    // run. A second failure surfaces as usual.
+                    Err(e) if healable(&e) => {
+                        eprintln!(
+                            "[sweep] cached capture '{key}' failed ({e}); \
+                             evicting and re-capturing"
+                        );
+                        store.evict(&key);
+                        wp_obs::add(wp_obs::Counter::TraceCacheEvictions, 1);
+                        capture_app(app, w, m, &store.path(&key), self.cancel.as_ref())?;
+                        store.note_captured(&key);
+                        attempt()
+                    }
+                    r => r,
+                }
             }
             CellWork::Mix {
                 apps,
@@ -573,7 +631,15 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(i);
+                // Worker isolation: a panicking cell fails with a typed
+                // error instead of abandoning its slot and poisoning the
+                // whole map (and, one level up, the serving daemon).
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                    .unwrap_or_else(|payload| {
+                        Err(HarnessError::Panic(
+                            whirlpool_repro::harness::panic_message(payload),
+                        ))
+                    });
                 if r.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }

@@ -78,11 +78,23 @@ pub enum Counter {
     TenantEpochsRun,
     /// Tenant-epochs that violated their SLO (waiting epochs included).
     TenantSloViolations,
+    /// Faults fired by the `wp-fault` injection layer (one per shot).
+    FaultsInjected,
+    /// Service jobs whose worker panicked (isolated by `catch_unwind`).
+    ServeWorkerPanics,
+    /// Service jobs cancelled by the per-job wall-clock timeout.
+    ServeJobTimeouts,
+    /// Partial trailing `results.jsonl` records truncated at startup.
+    ServeLogTornTails,
+    /// Corrupt trace-cache entries evicted (and re-captured) by sweeps.
+    TraceCacheEvictions,
+    /// Client connect attempts retried against a slow-to-bind daemon.
+    ClientConnectRetries,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 33] = [
         Counter::TraceBytesDecoded,
         Counter::TraceChunksDecoded,
         Counter::FollowChunksSkipped,
@@ -110,6 +122,12 @@ impl Counter {
         Counter::TenantDepartures,
         Counter::TenantEpochsRun,
         Counter::TenantSloViolations,
+        Counter::FaultsInjected,
+        Counter::ServeWorkerPanics,
+        Counter::ServeJobTimeouts,
+        Counter::ServeLogTornTails,
+        Counter::TraceCacheEvictions,
+        Counter::ClientConnectRetries,
     ];
 
     /// The snake_case name used in JSON output.
@@ -142,6 +160,12 @@ impl Counter {
             Counter::TenantDepartures => "tenant_departures",
             Counter::TenantEpochsRun => "tenant_epochs_run",
             Counter::TenantSloViolations => "tenant_slo_violations",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::ServeWorkerPanics => "serve_worker_panics",
+            Counter::ServeJobTimeouts => "serve_job_timeouts",
+            Counter::ServeLogTornTails => "serve_log_torn_tails",
+            Counter::TraceCacheEvictions => "trace_cache_evictions",
+            Counter::ClientConnectRetries => "client_connect_retries",
         }
     }
 }

@@ -23,7 +23,7 @@
 //!                           [--warmup N] [--measure N] [--sixteen-core]
 //!                           [--sample-every N] [--obs-out <file>]
 //! trace_tool serve [--socket P] [--cache-dir D] [--state-dir D]
-//!                  [--workers N] [--queue N]
+//!                  [--workers N] [--queue N] [--timeout-ms T]
 //! trace_tool serve-bench [--out F] [--clients C] [--requests N] [--cold N]
 //! trace_tool tenant-bench [--out F] [--scenario <file.wps>] [--jobs N]
 //! trace_tool status|metrics|shutdown --connect <sock>
@@ -39,8 +39,9 @@
 //! `info`, `dump`, and `bench-check` inspect local files and always run
 //! locally.
 //!
-//! `serve` runs the daemon itself (Ctrl-C or a `shutdown` request stops
-//! it gracefully); `serve-bench` measures warm-daemon throughput against
+//! `serve` runs the daemon itself (Ctrl-C, SIGTERM, or a `shutdown`
+//! request stops it gracefully);
+//! `serve-bench` measures warm-daemon throughput against
 //! a cold-process baseline and writes the `BENCH_serve.json` CI gate.
 //! The remaining verbs are covered by `wp_serve`'s crate docs and the
 //! README's "Service mode" section.
@@ -53,6 +54,13 @@ use wp_serve::{Client, ExpOp, Request, ServeConfig, Server};
 use wp_trace::{TraceInfo, TraceReader};
 
 fn main() -> ExitCode {
+    // A malformed WP_FAULT spec arms nothing (fail safe), but silently
+    // running fault-free when the operator asked for chaos would be the
+    // worst outcome — fail fast and loud instead.
+    if let Some(err) = wp_fault::env_error() {
+        eprintln!("trace_tool: {err}");
+        return ExitCode::from(2);
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (connect, args) = match strip_connect(argv) {
         Ok(split) => split,
@@ -113,7 +121,14 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("trace_tool: {msg}");
-            ExitCode::from(2)
+            // A daemon that is draining (or died mid-conversation) is an
+            // expected operational condition, not a usage error: exit 1
+            // so wrappers can retry, reserving 2 for real failures.
+            if wp_serve::client::is_shutdown_error(&msg) {
+                ExitCode::from(1)
+            } else {
+                ExitCode::from(2)
+            }
         }
     }
 }
@@ -155,8 +170,10 @@ usage:
                      timeline: pool occupancy, reconfigurations, registry
                      snapshot; stdout unless --obs-out)
   trace_tool serve  [--socket P] [--cache-dir D] [--state-dir D] [--workers N] [--queue N]
-                    (run the resident daemon; SIGINT or a shutdown request
-                     stops it gracefully)
+                    [--timeout-ms T]
+                    (run the resident daemon; SIGINT, SIGTERM, or a shutdown
+                     request stops it gracefully; --timeout-ms cancels any job
+                     whose wall clock blows the budget with a typed error)
   trace_tool serve-bench [--out F] [--clients C] [--requests N] [--cold N]
                     (measure warm-daemon vs cold-process throughput and write
                      the BENCH_serve.json gate report)
@@ -169,7 +186,10 @@ usage:
 
 Work subcommands (record, replay, profile, sweep, scenario, obs)
 accept --connect <sock> to run on a `trace_tool serve` daemon instead
-of locally; stdout is byte-identical either way.
+of locally; stdout is byte-identical either way. A daemon that is
+shutting down mid-conversation maps to exit code 1 (retryable), every
+other error to 2. WP_FAULT=<point>[@N][=ms][,...]:<seed> arms the
+deterministic fault-injection layer (see the wp-fault crate docs).
 
 schemes: LRU, DRRIP, IdealSPD, Awasthi, Jigsaw, Jigsaw-NoBypass,
          Whirlpool, Whirlpool-NoBypass, Memshare
@@ -212,7 +232,7 @@ impl IntoRequest for ExpOp {
 fn run_op(connect: Option<PathBuf>, req: Request) -> Result<(), String> {
     let lines = match connect {
         None => ops::run_request(&req, &OpCtx::offline())?,
-        Some(sock) => Client::connect(&sock)?.run(&req)?.lines,
+        Some(sock) => connect_retrying(&sock)?.run(&req)?.lines,
     };
     // The one println! both modes share — the byte-identity choke point.
     for line in lines {
@@ -232,13 +252,21 @@ fn require_connect(connect: Option<PathBuf>, sub: &str) -> Result<PathBuf, Strin
     connect.ok_or_else(|| format!("{sub} needs --connect <sock> (a running daemon)"))
 }
 
+/// Every client-mode path connects through here: a few retries with
+/// capped jittered backoff smooth over a daemon that is still binding
+/// its socket. The jitter seed is the pid, so a fleet of clients
+/// hitting one dead socket spreads out instead of stampeding.
+fn connect_retrying(sock: &Path) -> Result<Client, String> {
+    Client::connect_with_retry(sock, 3, u64::from(std::process::id()))
+}
+
 /// `status`/`metrics`/`shutdown`: one request, one reply frame printed.
 fn sync_verb(connect: Option<PathBuf>, req: Request, rest: &[String]) -> Result<(), String> {
     if !rest.is_empty() {
         return Err(format!("{} takes no arguments", req.verb()));
     }
     let sock = require_connect(connect, &req.verb())?;
-    let frame = Client::connect(&sock)?.call(&req)?;
+    let frame = connect_retrying(&sock)?.call(&req)?;
     println!("{frame}");
     Ok(())
 }
@@ -252,7 +280,7 @@ fn cmd_cancel(connect: Option<PathBuf>, rest: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| format!("job id must be an integer, got '{job}'"))?;
     let sock = require_connect(connect, "cancel")?;
-    let frame = Client::connect(&sock)?.call(&Request::Cancel { job })?;
+    let frame = connect_retrying(&sock)?.call(&Request::Cancel { job })?;
     println!("{frame}");
     Ok(())
 }
@@ -267,6 +295,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             "--state-dir",
             "--workers",
             "--queue",
+            "--timeout-ms",
         ],
         &[],
     )?;
@@ -291,6 +320,9 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     }
     if let Some(n) = args.number("--queue")? {
         config.queue_capacity = n.max(1) as usize;
+    }
+    if let Some(ms) = args.number("--timeout-ms")? {
+        config.job_timeout_ms = Some(ms.max(1));
     }
     Server::bind(&config)?.run()
 }

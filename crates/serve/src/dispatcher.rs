@@ -20,8 +20,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use whirlpool_repro::harness::CancelToken;
+use whirlpool_repro::harness::{panic_message, CancelToken};
 
 use crate::ops::{self, OpCtx};
 use crate::protocol::Request;
@@ -71,6 +72,9 @@ struct Inner {
     wake: Condvar,
     store: Arc<ServeStore>,
     capacity: usize,
+    /// Wall-clock budget armed on each job's cancel token as a worker
+    /// picks it up; `None` = unbounded (the historical behaviour).
+    job_timeout: Option<Duration>,
 }
 
 /// The job queue plus its worker pool. Constructed once per daemon and
@@ -93,8 +97,22 @@ impl std::fmt::Debug for Dispatcher {
 
 impl Dispatcher {
     /// Starts `workers` worker threads over a queue bounded at
-    /// `capacity` pending jobs.
+    /// `capacity` pending jobs, with no per-job timeout.
     pub fn start(store: Arc<ServeStore>, workers: usize, capacity: usize) -> Self {
+        Self::start_with_timeout(store, workers, capacity, None)
+    }
+
+    /// [`start`](Self::start) plus a per-job wall-clock budget: each
+    /// job's cancel token is armed with the deadline as a worker picks
+    /// it up, so a runaway run aborts at its next cooperative
+    /// checkpoint and the client gets a typed "timed out" error frame
+    /// (distinct from a user cancel) while the daemon keeps serving.
+    pub fn start_with_timeout(
+        store: Arc<ServeStore>,
+        workers: usize,
+        capacity: usize,
+        job_timeout: Option<Duration>,
+    ) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -109,6 +127,7 @@ impl Dispatcher {
             wake: Condvar::new(),
             store,
             capacity: capacity.max(1),
+            job_timeout,
         });
         let handles = (0..workers.max(1))
             .map(|n| {
@@ -260,11 +279,47 @@ fn worker_loop(inner: &Inner) {
                 s = inner.wake.wait(s).expect("dispatcher state");
             }
         };
+        if let Some(budget) = inner.job_timeout {
+            job.cancel.set_deadline_in(Some(budget));
+        }
         let ctx = OpCtx {
             store: Some(Arc::clone(&inner.store)),
             cancel: Some(job.cancel.clone()),
         };
-        let result = ops::run_request(&job.req, &ctx);
+        // Worker isolation: a panicking op fails its own job with a
+        // typed one-line error; the worker thread (and the daemon)
+        // keep serving. The fault probes sit inside the unwind scope
+        // so an injected panic exercises exactly this path.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if wp_fault::fire(wp_fault::FaultPoint::WorkerPanic).is_some() {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                panic!("injected worker fault");
+            }
+            if let Some(shot) = wp_fault::fire(wp_fault::FaultPoint::WorkerSlow) {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                std::thread::sleep(Duration::from_millis(shot.millis));
+            }
+            ops::run_request(&job.req, &ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            wp_obs::add(wp_obs::Counter::ServeWorkerPanics, 1);
+            Err(format!("worker panicked: {}", panic_message(payload)))
+        });
+        // A deadline-fired token surfaces as `Cancelled` from the run's
+        // checkpoints; relabel it so clients can tell a daemon-imposed
+        // timeout from a user cancel (and it is counted separately).
+        let timed_out = job.cancel.timed_out();
+        let result = match result {
+            Err(_) if timed_out => {
+                wp_obs::add(wp_obs::Counter::ServeJobTimeouts, 1);
+                let ms = inner.job_timeout.map_or(0, |d| d.as_millis());
+                Err(format!(
+                    "job {} timed out after {ms}ms and was cancelled",
+                    job.id
+                ))
+            }
+            r => r,
+        };
         let mut s = inner.state.lock().expect("dispatcher state");
         s.running -= 1;
         s.tokens.remove(&job.id);
@@ -282,7 +337,10 @@ fn worker_loop(inner: &Inner) {
                 ));
             }
             Err(message) => {
-                let cancelled = job.cancel.is_cancelled();
+                // A timed-out job is an outcome the daemon imposed, not
+                // a user cancel: log and count it as completed-with-
+                // error so `cancelled` keeps meaning "someone asked".
+                let cancelled = job.cancel.is_cancelled() && !timed_out;
                 if cancelled {
                     s.cancelled += 1;
                     wp_obs::add(wp_obs::Counter::ServeRequestsCancelled, 1);
@@ -312,7 +370,7 @@ fn worker_loop(inner: &Inner) {
             }
             Err(message) => {
                 let _ = job.tx.send(JobEvent::Error {
-                    cancelled: job.cancel.is_cancelled(),
+                    cancelled: job.cancel.is_cancelled() && !timed_out,
                     message,
                 });
             }
@@ -368,6 +426,73 @@ mod tests {
         assert!(err.contains("shutting down"), "err: {err}");
         d.join();
         assert!(d.is_idle());
+    }
+
+    #[test]
+    fn injected_worker_panic_fails_one_job_and_keeps_the_daemon_serving() {
+        let _guard = wp_fault::test_guard();
+        wp_fault::install(wp_fault::FaultPlan::parse("worker-panic@1:1").unwrap());
+        let d = Dispatcher::start(test_store("panic"), 1, 4);
+        let (_, rx) = d.submit(Request::Profile { argv: vec![] }).unwrap();
+        match rx.recv().unwrap() {
+            JobEvent::Error { cancelled, message } => {
+                assert!(!cancelled);
+                assert!(
+                    message.contains("worker panicked") && message.contains("injected"),
+                    "message: {message}"
+                );
+            }
+            other => panic!("expected an error event, got {other:?}"),
+        }
+        wp_fault::clear();
+        // The same (sole) worker thread survived the unwind and serves
+        // the follow-up request; its failure is an argv error, not a
+        // panic.
+        let (_, rx2) = d.submit(Request::Profile { argv: vec![] }).unwrap();
+        match rx2.recv().unwrap() {
+            JobEvent::Error { message, .. } => {
+                assert!(!message.contains("panicked"), "message: {message}");
+            }
+            other => panic!("expected an error event, got {other:?}"),
+        }
+        d.begin_shutdown();
+        d.join();
+    }
+
+    #[test]
+    fn slow_jobs_blow_the_wall_clock_budget_with_a_typed_timeout() {
+        let _guard = wp_fault::test_guard();
+        wp_fault::install(wp_fault::FaultPlan::parse("worker-slow@1=150:1").unwrap());
+        let d = Dispatcher::start_with_timeout(
+            test_store("timeout"),
+            1,
+            4,
+            Some(Duration::from_millis(40)),
+        );
+        let (id, rx) = d
+            .submit(Request::Sweep {
+                argv: vec![
+                    "--apps".into(),
+                    "mcf".into(),
+                    "--schemes".into(),
+                    "LRU".into(),
+                ],
+            })
+            .unwrap();
+        match rx.recv().unwrap() {
+            JobEvent::Error { cancelled, message } => {
+                // Typed and distinct from a user cancel.
+                assert!(!cancelled);
+                assert!(
+                    message.contains(&format!("job {id} timed out after 40ms")),
+                    "message: {message}"
+                );
+            }
+            other => panic!("expected a timeout error, got {other:?}"),
+        }
+        wp_fault::clear();
+        d.begin_shutdown();
+        d.join();
     }
 
     #[test]

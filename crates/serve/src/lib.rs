@@ -7,11 +7,13 @@
 //!
 //! * [`listener`] — binds the socket, accepts connections, and frames
 //!   line-delimited JSON requests/responses; graceful shutdown on
-//!   SIGINT or the `shutdown` verb (drain jobs, flush the log, unlink
-//!   the socket).
+//!   SIGINT, SIGTERM, or the `shutdown` verb (drain jobs, flush the
+//!   log, unlink the socket).
 //! * [`dispatcher`] — a bounded job queue over a small worker pool,
-//!   with per-job ids and cooperative cancellation threaded through
-//!   `Experiment` and the sweep cell loops.
+//!   with per-job ids, cooperative cancellation threaded through
+//!   `Experiment` and the sweep cell loops, optional per-job wall-clock
+//!   timeouts, and `catch_unwind` isolation so a panicking job becomes
+//!   one typed error frame instead of a dead worker.
 //! * [`store`] — the warm state worth being resident for: the
 //!   `WP_TRACE_CACHE` index, memoized MRC curve payloads, and the
 //!   append-only JSONL result log.

@@ -2,14 +2,14 @@
 //! request handling.
 //!
 //! The daemon binds one socket, accepts connections non-blockingly (so
-//! the loop can poll the SIGINT flag and the `shutdown` verb between
-//! accepts), and handles each connection on its own thread. Requests on
-//! a connection run sequentially; concurrency comes from opening several
-//! connections — which is exactly how the saturating benchmark and the
-//! determinism tests drive it.
+//! the loop can poll the shutdown-signal flag and the `shutdown` verb
+//! between accepts), and handles each connection on its own thread.
+//! Requests on a connection run sequentially; concurrency comes from
+//! opening several connections — which is exactly how the saturating
+//! benchmark and the determinism tests drive it.
 //!
-//! Shutdown (SIGINT or the `shutdown` verb) is graceful in a fixed
-//! order: stop accepting, cancel-and-drain the job queue (every queued
+//! Shutdown (SIGINT, SIGTERM, or the `shutdown` verb) is graceful in a
+//! fixed order: stop accepting, cancel-and-drain the job queue (every queued
 //! job still answers its client, as `cancelled` errors), join the
 //! connection threads, flush the result log, and finally unlink the
 //! socket file. A stale socket from a crashed daemon is detected at bind
@@ -42,6 +42,10 @@ pub struct ServeConfig {
     /// Maximum pending (not yet running) jobs before submits are
     /// rejected.
     pub queue_capacity: usize,
+    /// Per-job wall-clock budget in milliseconds (`--timeout-ms`);
+    /// `None` = unbounded. A job past its budget aborts at its next
+    /// cooperative checkpoint with a typed "timed out" error frame.
+    pub job_timeout_ms: Option<u64>,
 }
 
 impl ServeConfig {
@@ -55,6 +59,7 @@ impl ServeConfig {
             state_dir: PathBuf::from("target/wp-serve"),
             workers: 2,
             queue_capacity: 64,
+            job_timeout_ms: None,
         }
     }
 }
@@ -90,10 +95,11 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot set {} non-blocking: {e}", config.socket.display()))?;
-        let dispatcher = Arc::new(Dispatcher::start(
+        let dispatcher = Arc::new(Dispatcher::start_with_timeout(
             Arc::clone(&store),
             config.workers,
             config.queue_capacity,
+            config.job_timeout_ms.map(Duration::from_millis),
         ));
         Ok(Self {
             listener,
@@ -115,8 +121,8 @@ impl Server {
         &self.store
     }
 
-    /// Serves until SIGINT or a `shutdown` request, then tears down
-    /// gracefully. Consumes the server; the socket file is removed on
+    /// Serves until SIGINT, SIGTERM, or a `shutdown` request, then
+    /// tears down gracefully. Consumes the server; the socket file is removed on
     /// the way out.
     ///
     /// # Errors
@@ -124,7 +130,7 @@ impl Server {
     /// Accept-loop I/O failures other than the expected
     /// `WouldBlock`/`Interrupted`.
     pub fn run(self) -> Result<(), String> {
-        signal::install_sigint_flag();
+        signal::install_shutdown_flags();
         eprintln!(
             "wp-serve: listening on {} ({} warm traces; log {})",
             self.socket.display(),
@@ -133,7 +139,7 @@ impl Server {
         );
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
-            if self.shutdown.load(Ordering::SeqCst) || signal::sigint_received() {
+            if self.shutdown.load(Ordering::SeqCst) || signal::shutdown_signal_received() {
                 break;
             }
             match self.listener.accept() {
@@ -304,6 +310,16 @@ fn handle_connection(stream: UnixStream, dispatcher: &Dispatcher, shutdown: &Ato
 /// Writes one frame plus newline and flushes; false means the client is
 /// gone and the connection thread should wind down.
 fn send(writer: &mut impl Write, frame: &str) -> bool {
+    // `sock-drop` ships the front half of the frame and abandons the
+    // connection — the torn write a daemon killed mid-send produces.
+    // Returning false winds the connection thread down, which closes
+    // the stream; the client sees a frame with no newline, then EOF.
+    if wp_fault::fire(wp_fault::FaultPoint::SockDrop).is_some() {
+        wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+        let _ = writer.write_all(&frame.as_bytes()[..frame.len() / 2]);
+        let _ = writer.flush();
+        return false;
+    }
     writeln!(writer, "{frame}")
         .and_then(|()| writer.flush())
         .is_ok()

@@ -1,20 +1,23 @@
-//! SIGINT → shutdown flag, with no libc crate to lean on.
+//! SIGINT/SIGTERM → shutdown flag, with no libc crate to lean on.
 //!
-//! The daemon's accept loop polls [`sigint_received`] between
-//! non-blocking accepts, so Ctrl-C lands as a graceful shutdown (drain
-//! jobs, flush the result log, unlink the socket) instead of the
+//! The daemon's accept loop polls [`shutdown_signal_received`] between
+//! non-blocking accepts, so Ctrl-C *and* a container-style `SIGTERM`
+//! (docker stop, systemd, Kubernetes) land as a graceful shutdown
+//! (drain jobs, flush the result log, unlink the socket) instead of the
 //! process dying mid-write. This is the one module in the workspace
 //! allowed to use `unsafe`: std has no signal API, and the whole
-//! surface is a single `signal(2)` registration whose handler stores to
-//! an atomic — the only thing that is async-signal-safe anyway.
+//! surface is two `signal(2)` registrations whose shared handler stores
+//! to an atomic — the only thing that is async-signal-safe anyway.
 #![allow(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-static SIGINT: AtomicBool = AtomicBool::new(false);
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
 /// POSIX `SIGINT` — identical on every platform this repo targets.
 const SIGINT_NO: i32 = 2;
+/// POSIX `SIGTERM` — likewise.
+const SIGTERM_NO: i32 = 15;
 
 extern "C" {
     /// `signal(2)`. The return value (the previous handler) is a
@@ -22,26 +25,29 @@ extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
-extern "C" fn on_sigint(_sig: i32) {
-    SIGINT.store(true, Ordering::SeqCst);
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-/// Installs the SIGINT→flag handler. Idempotent; last registration wins.
-pub fn install_sigint_flag() {
+/// Installs the SIGINT/SIGTERM→flag handlers. Idempotent; last
+/// registration wins.
+pub fn install_shutdown_flags() {
     // SAFETY: registering a handler that only stores to a static atomic
     // is async-signal-safe, and `signal` itself has no memory-safety
     // preconditions beyond a valid function pointer.
     unsafe {
-        let _ = signal(SIGINT_NO, on_sigint);
+        let _ = signal(SIGINT_NO, on_shutdown_signal);
+        let _ = signal(SIGTERM_NO, on_shutdown_signal);
     }
 }
 
-/// Whether SIGINT has arrived since [`install_sigint_flag`].
-pub fn sigint_received() -> bool {
-    SIGINT.load(Ordering::SeqCst)
+/// Whether SIGINT or SIGTERM has arrived since
+/// [`install_shutdown_flags`].
+pub fn shutdown_signal_received() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
 }
 
 /// Clears the flag (tests re-enter the accept loop in one process).
-pub fn reset_sigint_flag() {
-    SIGINT.store(false, Ordering::SeqCst);
+pub fn reset_shutdown_flag() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
 }

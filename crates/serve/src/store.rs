@@ -43,6 +43,39 @@ struct LogState {
     limit: u64,
 }
 
+/// Repairs a result log whose final append was torn — a daemon killed
+/// mid-`write(2)` leaves a partial record with no trailing newline.
+/// Every complete record ends in `\n` by construction, so the repair is
+/// exact: truncate to just past the last newline (or to empty if the
+/// whole file is one partial record). Counted under
+/// `serve_log_torn_tails` and reported in one stderr line; any I/O
+/// failure leaves the file untouched (append still works, and the torn
+/// tail merely makes the next record's line unparseable — the same
+/// deal readers already get from arbitrary external corruption).
+fn recover_torn_tail(log_path: &Path) {
+    let Ok(bytes) = std::fs::read(log_path) else {
+        return;
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return;
+    }
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |at| at + 1);
+    let torn = bytes.len() - keep;
+    match std::fs::OpenOptions::new().write(true).open(log_path) {
+        Ok(file) if file.set_len(keep as u64).is_ok() => {
+            wp_obs::add(wp_obs::Counter::ServeLogTornTails, 1);
+            eprintln!(
+                "[serve] recovered torn tail in {}: dropped {torn} partial byte(s)",
+                log_path.display()
+            );
+        }
+        _ => {}
+    }
+}
+
 /// The resident store. Shared across the listener, dispatcher, and ops
 /// layers as an `Arc<ServeStore>`; every interior field carries its own
 /// lock, so concurrent jobs never serialize on one global mutex.
@@ -82,6 +115,7 @@ impl ServeStore {
             }
         }
         let log_path = state_dir.join("results.jsonl");
+        recover_torn_tail(&log_path);
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -241,6 +275,14 @@ impl TraceStore for ServeStore {
             .expect("warm index")
             .insert(key.to_string());
     }
+
+    /// Evicts a corrupt capture: the file *and* its warm-index entry,
+    /// so the next `contains` check honestly reports cold and the
+    /// sweep's self-healing re-capture path takes over.
+    fn evict(&self, key: &str) {
+        self.warm.lock().expect("warm index").remove(key);
+        let _ = std::fs::remove_file(self.path(key));
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +354,68 @@ mod tests {
             records.len() + 2,
             "the second generation rotates against the seeded byte count"
         );
+        let _ = std::fs::remove_dir_all(cache.parent().unwrap());
+    }
+
+    #[test]
+    fn open_truncates_exactly_the_torn_tail_record() {
+        let (cache, state) = tmp_dirs("torntail");
+        std::fs::create_dir_all(&state).unwrap();
+        let log = state.join("results.jsonl");
+        // Two complete records, then a record torn mid-append (no '\n').
+        std::fs::write(
+            &log,
+            b"{\"type\":\"result\",\"job\":1}\n{\"type\":\"result\",\"job\":2}\n{\"type\":\"res",
+        )
+        .unwrap();
+        let store = ServeStore::open(&cache, &state).unwrap();
+        let healed = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(
+            healed, "{\"type\":\"result\",\"job\":1}\n{\"type\":\"result\",\"job\":2}\n",
+            "recovery must drop exactly the partial record, nothing more"
+        );
+        // Appends land after the healed tail, and rotation still
+        // round-trips against the recovered byte count.
+        store.set_log_limit(healed.len() as u64 + 30);
+        store.log_line("{\"type\":\"result\",\"job\":3}");
+        store.log_line("{\"type\":\"result\",\"job\":4}");
+        store.flush();
+        let current = std::fs::read_to_string(&log).unwrap();
+        let rotated = std::fs::read_to_string(state.join("results.jsonl.1")).unwrap();
+        let replay: Vec<&str> = rotated.lines().chain(current.lines()).collect();
+        assert_eq!(
+            replay,
+            vec![
+                "{\"type\":\"result\",\"job\":1}",
+                "{\"type\":\"result\",\"job\":2}",
+                "{\"type\":\"result\",\"job\":3}",
+                "{\"type\":\"result\",\"job\":4}",
+            ],
+            "healed log + rotation must replay every complete record once"
+        );
+        // A log that is ALL torn (one partial record, no newline) heals
+        // to empty rather than erroring.
+        drop(store);
+        std::fs::remove_file(state.join("results.jsonl.1")).unwrap();
+        std::fs::write(&log, b"{\"type\":\"res").unwrap();
+        let _store = ServeStore::open(&cache, &state).unwrap();
+        assert_eq!(std::fs::read(&log).unwrap(), b"");
+        let _ = std::fs::remove_dir_all(cache.parent().unwrap());
+    }
+
+    #[test]
+    fn evict_drops_both_the_file_and_the_warm_index_entry() {
+        let (cache, state) = tmp_dirs("evict");
+        std::fs::create_dir_all(&cache).unwrap();
+        std::fs::write(cache.join("mcf-w1-m2.wpt"), b"corrupt").unwrap();
+        let store = ServeStore::open(&cache, &state).unwrap();
+        assert!(store.contains("mcf-w1-m2"));
+        store.evict("mcf-w1-m2");
+        assert!(
+            !store.contains("mcf-w1-m2"),
+            "the index must not resurrect an evicted key"
+        );
+        assert!(!cache.join("mcf-w1-m2.wpt").exists());
         let _ = std::fs::remove_dir_all(cache.parent().unwrap());
     }
 

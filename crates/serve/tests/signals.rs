@@ -1,0 +1,56 @@
+//! Container-style shutdown: SIGTERM must land as the same graceful
+//! drain flag as Ctrl-C's SIGINT.
+//!
+//! The test raises real signals at its own process (after installing
+//! the handlers — order matters, or the default action kills the test
+//! runner), so it exercises the actual `signal(2)` registration, not a
+//! mock.
+
+use std::time::{Duration, Instant};
+
+use wp_serve::signal::{install_shutdown_flags, reset_shutdown_flag, shutdown_signal_received};
+
+/// Polls the flag until it flips or the deadline passes.
+fn flag_within(budget: Duration) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if shutdown_signal_received() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shutdown_signal_received()
+}
+
+fn raise(sig: &str) {
+    let status = std::process::Command::new("kill")
+        .args([sig, &std::process::id().to_string()])
+        .status()
+        .expect("kill(1) must be runnable");
+    assert!(status.success(), "kill {sig} failed");
+}
+
+#[test]
+fn sigterm_and_sigint_both_set_the_shutdown_flag() {
+    // Install FIRST: an unhandled SIGTERM would kill the test binary.
+    install_shutdown_flags();
+    reset_shutdown_flag();
+    assert!(!shutdown_signal_received());
+
+    raise("-TERM");
+    assert!(
+        flag_within(Duration::from_secs(5)),
+        "SIGTERM never set the shutdown flag"
+    );
+
+    // The flag resets (tests re-enter accept loops in one process) and
+    // SIGINT lands through the same handler.
+    reset_shutdown_flag();
+    assert!(!shutdown_signal_received());
+    raise("-INT");
+    assert!(
+        flag_within(Duration::from_secs(5)),
+        "SIGINT never set the shutdown flag"
+    );
+    reset_shutdown_flag();
+}

@@ -249,6 +249,18 @@ fn run_one_scheme(
     };
 
     for e in 0..scenario.epochs {
+        // Fault-injection probes mirror the sweep cell loop: a scenario
+        // worker can be made to panic (exercising `parallel_map`'s
+        // catch_unwind isolation) or stall (exercising cancel deadlines)
+        // at a seeded epoch.
+        if wp_fault::fire(wp_fault::FaultPoint::WorkerPanic).is_some() {
+            wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+            panic!("injected worker fault");
+        }
+        if let Some(shot) = wp_fault::fire(wp_fault::FaultPoint::WorkerSlow) {
+            wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+            std::thread::sleep(std::time::Duration::from_millis(shot.millis));
+        }
         if let Some(c) = &opts.cancel {
             if c.is_cancelled() {
                 return Err(HarnessError::Cancelled);

@@ -305,6 +305,7 @@ impl BatchReader {
             if self.ended {
                 return Ok(None);
             }
+            crate::injected_read_fault()?;
             // Clone the Arc so `payload` borrows the image, not `self`
             // (check_end and the stream table need `&mut self`).
             let data = Arc::clone(&self.data);
@@ -344,6 +345,16 @@ impl BatchReader {
                         continue;
                     }
                 }
+            }
+            // The mmapped image is read-only, so `reader-bitflip` here
+            // surfaces the fault's observable result — the CRC error a
+            // flipped payload bit would produce — rather than mutating
+            // the shared page cache under every other reader.
+            if tag == TAG_CHUNK && wp_fault::fire(wp_fault::FaultPoint::ReaderBitflip).is_some() {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                return Err(TraceError::Checksum {
+                    offset: block_offset,
+                });
             }
             if crc32(payload) != expect_crc {
                 return Err(TraceError::Checksum {
@@ -484,6 +495,17 @@ impl PrefetchBatches {
                 // Slab starvation means the consumer went away; so does a
                 // failed send. Either way the thread just leaves.
                 let Ok(mut batch) = slabs.recv() else { return };
+                // `prefetch-panic` exercises the consumer's join-and-
+                // diagnose path; `prefetch-stall` the lookahead falling
+                // behind (visible as PrefetchStalls, not an error).
+                if wp_fault::fire(wp_fault::FaultPoint::PrefetchPanic).is_some() {
+                    wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                    panic!("injected prefetch fault");
+                }
+                if let Some(shot) = wp_fault::fire(wp_fault::FaultPoint::PrefetchStall) {
+                    wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                    std::thread::sleep(std::time::Duration::from_millis(shot.millis));
+                }
                 match reader.next_chunk(&mut batch) {
                     Ok(Some(stream)) => {
                         if tx.send(Ok(Some((stream, batch)))).is_err() {

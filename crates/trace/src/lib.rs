@@ -137,3 +137,21 @@ impl From<std::io::Error> for TraceError {
         }
     }
 }
+
+/// Fault-injection probe shared by both read paths, called once per
+/// block: surfaces an armed `reader-io` or `reader-truncate` arm as the
+/// typed error the equivalent disk fault would produce. One relaxed
+/// atomic load per point when nothing is armed.
+pub(crate) fn injected_read_fault() -> Result<(), TraceError> {
+    if wp_fault::fire(wp_fault::FaultPoint::ReaderIo).is_some() {
+        wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+        return Err(TraceError::Io(std::io::Error::other(
+            "injected trace I/O fault",
+        )));
+    }
+    if wp_fault::fire(wp_fault::FaultPoint::ReaderTruncate).is_some() {
+        wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+        return Err(TraceError::Truncated);
+    }
+    Ok(())
+}

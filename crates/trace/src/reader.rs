@@ -110,6 +110,7 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn read_block(&mut self) -> Result<(), TraceError> {
+        crate::injected_read_fault()?;
         let block_offset = self.offset;
         let mut tag = [0u8; 1];
         if let Err(e) = self.input.read_exact(&mut tag) {
@@ -127,6 +128,15 @@ impl<R: Read> TraceReader<R> {
         let mut payload = vec![0u8; len as usize];
         self.input.read_exact(&mut payload)?;
         self.offset += 1 + varint_len(len) + 4 + len;
+        // `reader-bitflip` flips a real payload bit in chunk N so the
+        // stock CRC check below catches it, exactly as disk rot would.
+        if !payload.is_empty() && tag[0] == TAG_CHUNK {
+            if let Some(shot) = wp_fault::fire(wp_fault::FaultPoint::ReaderBitflip) {
+                wp_obs::add(wp_obs::Counter::FaultsInjected, 1);
+                let at = (shot.draw(block_offset) % payload.len() as u64) as usize;
+                payload[at] ^= 1 << (shot.draw(at as u64) % 8);
+            }
+        }
         if crc32(&payload) != expect_crc {
             return Err(TraceError::Checksum {
                 offset: block_offset,

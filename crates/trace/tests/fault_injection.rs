@@ -1,0 +1,127 @@
+//! `wp-fault` probes in the trace read paths: every armed reader point
+//! surfaces as the typed [`TraceError`] the equivalent disk fault would
+//! produce, the same spec + seed reproduces the same failure, and a
+//! cleared plan reads the same bytes back cleanly.
+
+use std::io::Write;
+
+use wp_fault::FaultPlan;
+use wp_mem::LineAddr;
+use wp_trace::{BatchReader, EventBatch, PrefetchBatches, TraceError, TraceReader, TraceWriter};
+
+/// A small multi-chunk trace on disk.
+fn write_trace(tag: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("wp-fault-trace-{}-{tag}.wpt", std::process::id()));
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf).unwrap().with_chunk_events(64);
+    let s = w.add_stream("t", &[]).unwrap();
+    for i in 0..1000u64 {
+        w.record(s, 1, LineAddr(4096 + i * 7), i % 3 == 0).unwrap();
+    }
+    w.finish().unwrap();
+    drop(w);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(&buf).unwrap();
+    path
+}
+
+fn drain_stream(path: &std::path::Path) -> Result<u64, TraceError> {
+    let mut r = TraceReader::open(path)?;
+    let mut n = 0;
+    while r.next_record()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn drain_batches(path: &std::path::Path) -> Result<u64, TraceError> {
+    let mut r = BatchReader::open(path)?;
+    let mut batch = EventBatch::new();
+    let mut n = 0;
+    while r.next_chunk(&mut batch)?.is_some() {
+        n += batch.len() as u64;
+    }
+    Ok(n)
+}
+
+#[test]
+fn armed_reader_points_surface_as_their_typed_errors() {
+    let path = write_trace("typed");
+    let _guard = wp_fault::test_guard();
+
+    wp_fault::install(FaultPlan::parse("reader-io@1:3").unwrap());
+    assert!(matches!(drain_stream(&path), Err(TraceError::Io(_))));
+
+    wp_fault::install(FaultPlan::parse("reader-truncate@2:3").unwrap());
+    assert!(matches!(drain_stream(&path), Err(TraceError::Truncated)));
+
+    // The streaming reader flips a real payload bit; CRC catches it.
+    wp_fault::install(FaultPlan::parse("reader-bitflip@1:3").unwrap());
+    assert!(matches!(
+        drain_stream(&path),
+        Err(TraceError::Checksum { .. })
+    ));
+
+    // Same points through the mmap/batch path.
+    wp_fault::install(FaultPlan::parse("reader-io@1:3").unwrap());
+    assert!(matches!(drain_batches(&path), Err(TraceError::Io(_))));
+    wp_fault::install(FaultPlan::parse("reader-bitflip@2:3").unwrap());
+    assert!(matches!(
+        drain_batches(&path),
+        Err(TraceError::Checksum { .. })
+    ));
+
+    // Disarmed, both paths read the file cleanly — the injected faults
+    // never touched the bytes on disk.
+    wp_fault::clear();
+    assert_eq!(drain_stream(&path).unwrap(), 1000);
+    assert_eq!(drain_batches(&path).unwrap(), 1000);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn same_spec_and_seed_reproduce_the_same_failure() {
+    let path = write_trace("determinism");
+    let _guard = wp_fault::test_guard();
+    let offset_of = |spec: &str| {
+        wp_fault::install(FaultPlan::parse(spec).unwrap());
+        match drain_stream(&path) {
+            Err(TraceError::Checksum { offset }) => offset,
+            other => panic!("expected a checksum error, got {other:?}"),
+        }
+    };
+    assert_eq!(offset_of("reader-bitflip:7"), offset_of("reader-bitflip:7"));
+    wp_fault::clear();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_prefetch_panic_is_joined_into_a_typed_error() {
+    let path = write_trace("prefetch");
+    let _guard = wp_fault::test_guard();
+    wp_fault::install(FaultPlan::parse("prefetch-panic@1:1").unwrap());
+    let mut r = PrefetchBatches::open(&path).unwrap();
+    let mut batch = EventBatch::new();
+    let err = loop {
+        match r.next_chunk(&mut batch) {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("prefetch fault never surfaced"),
+            Err(e) => break e,
+        }
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("injected prefetch fault"),
+        "panic payload lost: {msg}"
+    );
+    // One-shot: a fresh prefetch run over the same file succeeds.
+    wp_fault::clear();
+    let mut r = PrefetchBatches::open(&path).unwrap();
+    let mut n = 0u64;
+    while r.next_chunk(&mut batch).unwrap().is_some() {
+        n += batch.len() as u64;
+    }
+    assert_eq!(n, 1000);
+    let _ = std::fs::remove_file(&path);
+}

@@ -13,8 +13,9 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use whirlpool::WhirlpoolScheme;
 use wp_baselines::{
@@ -87,6 +88,11 @@ pub enum HarnessError {
     /// malformed JSON, missing/ill-typed fields, negative times, or an
     /// inconsistent tenant set.
     Scenario(String),
+    /// A worker thread panicked mid-run and was isolated by
+    /// `catch_unwind`; the payload's one-line rendering is preserved.
+    /// The job (or cell) fails with this typed error instead of tearing
+    /// down the process or the daemon.
+    Panic(String),
     /// The run's [`CancelToken`] fired before or between its cooperative
     /// checkpoints; no result was produced.
     Cancelled,
@@ -134,6 +140,7 @@ impl std::fmt::Display for HarnessError {
             ),
             HarnessError::Trace(e) => write!(f, "{e}"),
             HarnessError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            HarnessError::Panic(msg) => write!(f, "worker panicked: {msg}"),
             HarnessError::Cancelled => write!(f, "cancelled before completion"),
         }
     }
@@ -154,6 +161,17 @@ impl From<TraceError> for HarnessError {
     }
 }
 
+/// Renders a `catch_unwind` payload as a one-line message — the string
+/// the `panic!` carried when there is one, a placeholder otherwise.
+/// Shared by every worker-isolation site (sweep cells, serve workers).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
 // ---------------------------------------------------------------------------
 // Cooperative cancellation
 // ---------------------------------------------------------------------------
@@ -169,8 +187,29 @@ impl From<TraceError> for HarnessError {
 /// which is how a `cancel` verb (or a daemon shutdown drain) stops an
 /// in-flight sweep without poisoning shared state: workers finish the
 /// cell they are on and release everything normally.
+///
+/// A token can also carry a wall-clock **deadline**
+/// ([`set_deadline_in`](Self::set_deadline_in)): once it passes, the
+/// token behaves as if cancelled, but [`timed_out`](Self::timed_out)
+/// distinguishes the two so callers (the serve dispatcher) can surface
+/// "timed out" rather than "cancelled by request".
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    fired: AtomicBool,
+    timed_out: AtomicBool,
+    /// Deadline in nanoseconds since [`cancel_anchor`]; 0 = none.
+    deadline_ns: AtomicU64,
+}
+
+/// The process-wide instant deadlines are measured from (an `Instant`
+/// cannot live in an atomic, its offset from a fixed anchor can).
+fn cancel_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
 
 impl CancelToken {
     /// A fresh, un-fired token.
@@ -180,12 +219,40 @@ impl CancelToken {
 
     /// Fires the token; every holder errors at its next checkpoint.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.fired.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has fired.
+    /// Arms (or, with `None`, disarms) a wall-clock deadline `budget`
+    /// from now. Checkpoints past the deadline fire the token and mark
+    /// it [`timed_out`](Self::timed_out).
+    pub fn set_deadline_in(&self, budget: Option<Duration>) {
+        let ns = budget.map_or(0, |d| {
+            let at = cancel_anchor().elapsed() + d;
+            // Saturate, and avoid 0 ("no deadline") for a degenerate
+            // zero-budget arm.
+            u64::try_from(at.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.0.deadline_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired (including by deadline).
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        if self.0.fired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let deadline = self.0.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 && cancel_anchor().elapsed().as_nanos() >= u128::from(deadline) {
+            self.0.timed_out.store(true, Ordering::Relaxed);
+            self.0.fired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the token fired by blowing its wall-clock deadline
+    /// rather than by an explicit [`cancel`](Self::cancel).
+    pub fn timed_out(&self) -> bool {
+        self.0.timed_out.load(Ordering::Relaxed)
     }
 
     /// `Err(Cancelled)` once the token has fired — the checkpoint
